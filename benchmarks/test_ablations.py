@@ -1,0 +1,133 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+These go beyond the paper's tables/figures: they quantify the sensitivity of
+Refrint to its two main microarchitectural parameters -- the Sentry-bit
+margin (Section 4.1) and the sentry grouping factor (Section 5) -- and the
+effect of asymmetric WB(n, m) tuples, which the paper mentions but does not
+sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.config.parameters import (
+    DataPolicySpec,
+    RefreshConfig,
+    SimulationConfig,
+    TimingPolicyKind,
+)
+from repro.config.presets import scaled_architecture, scaled_retention_cycles
+from repro.core.simulator import RefrintSimulator
+from repro.workloads.suite import build_application
+
+LENGTH = 0.15
+
+
+@pytest.fixture(scope="module")
+def architecture():
+    return scaled_architecture()
+
+
+@pytest.fixture(scope="module")
+def workload(architecture):
+    return build_application("fft", architecture, length_scale=LENGTH)
+
+
+def _refresh(architecture, margin=None, data=None):
+    retention = scaled_retention_cycles(50.0)
+    if margin is None:
+        margin = RefreshConfig.derive_sentry_margin(
+            architecture.l3_bank.num_lines, retention
+        )
+    return RefreshConfig(
+        retention_cycles=retention,
+        sentry_margin_cycles=margin,
+        timing_policy=TimingPolicyKind.REFRINT,
+        l3_data_policy=data or DataPolicySpec.valid(),
+    )
+
+
+def test_ablation_sentry_margin(benchmark, architecture, workload):
+    """A tighter Sentry margin means fewer refreshes per line (Section 4.1)."""
+
+    def run():
+        results = {}
+        retention = scaled_retention_cycles(50.0)
+        for label, margin in (
+            ("conservative (= lines per bank)", architecture.l3_bank.num_lines),
+            ("tight (1/8 of retention)", retention // 8),
+        ):
+            config = SimulationConfig.edram(
+                _refresh(architecture, margin=margin), architecture
+            )
+            results[label] = RefrintSimulator(config).run(workload)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    conservative = results["conservative (= lines per bank)"]
+    tight = results["tight (1/8 of retention)"]
+    print("\nsentry margin ablation (L3 refreshes):")
+    for label, result in results.items():
+        print(f"  {label:32s} {result.counter('l3_refreshes')}")
+    assert tight.counter("l3_refreshes") <= conservative.counter("l3_refreshes")
+    assert tight.counter("decay_violations") == 0
+
+
+def test_ablation_asymmetric_wb_tuples(benchmark, architecture, workload):
+    """WB(n, m) with n > m keeps dirty lines longer, trading DRAM writes."""
+
+    def run():
+        results = {}
+        for n, m in ((4, 4), (16, 4), (4, 16)):
+            data = DataPolicySpec.writeback(n, m)
+            config = SimulationConfig.edram(
+                _refresh(architecture, data=data), architecture
+            )
+            results[(n, m)] = RefrintSimulator(config).run(workload)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print("\nasymmetric WB(n,m) ablation:")
+    for (n, m), result in results.items():
+        print(
+            f"  WB({n},{m}): dram={result.counter('dram_accesses')} "
+            f"l3_refreshes={result.counter('l3_refreshes')} "
+            f"invalidations={result.counter('l3_policy_invalidations')}"
+        )
+    # Keeping dirty lines longer (larger n) must not increase DRAM accesses.
+    assert (
+        results[(16, 4)].counter("dram_accesses")
+        <= results[(4, 4)].counter("dram_accesses") * 1.05
+    )
+
+
+def test_ablation_periodic_group_count(benchmark, architecture, workload):
+    """More refresh groups shorten each blocking burst of the periodic scheme."""
+
+    def run():
+        results = {}
+        for groups in (1, 4, 16):
+            l3 = dataclasses.replace(architecture.l3_bank, num_refresh_groups=groups)
+            arch = dataclasses.replace(architecture, l3_bank=l3)
+            retention = scaled_retention_cycles(50.0)
+            refresh = RefreshConfig(
+                retention_cycles=retention,
+                sentry_margin_cycles=RefreshConfig.derive_sentry_margin(
+                    arch.l3_bank.num_lines, retention
+                ),
+                timing_policy=TimingPolicyKind.PERIODIC,
+                l3_data_policy=DataPolicySpec.all_lines(),
+            )
+            config = SimulationConfig.edram(refresh, arch)
+            results[groups] = RefrintSimulator(config).run(workload)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    print("\nperiodic group-count ablation (execution cycles):")
+    for groups, result in results.items():
+        print(f"  {groups:3d} groups: {result.execution_cycles}")
+    # A single monolithic refresh pass blocks the bank longest.
+    assert results[16].execution_cycles <= results[1].execution_cycles

@@ -1,0 +1,141 @@
+"""Benchmarks regenerating the paper's evaluation figures (Figs. 6.1 - 6.4).
+
+All four figures are produced from one shared Table 5.4 sweep (see
+``conftest.py`` for how the sweep size is controlled).  Each benchmark
+prints the regenerated figure as a text table -- the same rows the paper's
+stacked-bar plots report -- and asserts the qualitative shape the paper
+describes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.classes import class_members
+from repro.experiments.figures import (
+    figure_6_1,
+    figure_6_2,
+    figure_6_3,
+    figure_6_4,
+    render_figure,
+)
+from repro.experiments.runner import headline_summary
+
+
+def _class_filter(sweep, app_class):
+    """Applications of one class that are present in the sweep (or None)."""
+    present = [name for name in class_members(app_class) if name in sweep.baselines]
+    return present or None
+
+
+#: Policy labels whose bars must stay below the SRAM baseline in every view.
+#: The aggressive Dirty / small-(n,m) WB policies are excluded: the scaled
+#: geometry exaggerates their invalidation penalty (see EXPERIMENTS.md), so
+#: only the policies the paper's headline claims rest on are asserted here.
+CONSERVATIVE_POLICIES = ("P.all", "P.valid", "R.all", "R.valid", "R.WB(32,32)")
+
+
+def _conservative_labels(sweep):
+    return [
+        point.label for point in sweep.points
+        if point.policy_label in CONSERVATIVE_POLICIES
+    ]
+
+
+def test_figure_6_1_memory_energy_by_level(benchmark, sweep):
+    figure = benchmark(figure_6_1, sweep)
+    print("\n" + render_figure(figure))
+    totals = dict(zip(figure.bar_labels, figure.totals()))
+    # Every non-aggressive eDRAM configuration consumes less memory energy
+    # than full SRAM.
+    assert all(totals[label] < 1.0 for label in _conservative_labels(sweep))
+    # The L3 is the dominant on-chip level, as in Section 6.2.
+    for index, label in enumerate(figure.bar_labels):
+        l3 = figure.value(label, "L3")
+        l1 = figure.value(label, "L1")
+        l2 = figure.value(label, "L2")
+        assert l3 > l1 and l3 > l2, label
+
+
+def test_figure_6_2_memory_energy_by_component(benchmark, sweep):
+    figure = benchmark(figure_6_2, sweep)
+    print("\n" + render_figure(figure))
+    # Refresh energy shrinks as retention time grows (Section 6.3).
+    retentions = sweep.retention_times()
+    if len(retentions) > 1:
+        first = [p.label for p in sweep.points_for_retention(retentions[0])]
+        last = [p.label for p in sweep.points_for_retention(retentions[-1])]
+        refresh_first = sum(figure.value(label, "Refresh") for label in first)
+        refresh_last = sum(figure.value(label, "Refresh") for label in last)
+        assert refresh_last < refresh_first
+    # Periodic-All carries more refresh energy than Refrint-Valid.
+    for retention in retentions:
+        p_all = next(
+            p.label for p in sweep.points_for_retention(retention)
+            if p.policy_label == "P.all"
+        )
+        r_valid = next(
+            p.label for p in sweep.points_for_retention(retention)
+            if p.policy_label == "R.valid"
+        )
+        assert figure.value(r_valid, "Refresh") < figure.value(p_all, "Refresh")
+
+
+def test_figure_6_2_per_class_views(benchmark, sweep):
+    figures = benchmark(
+        lambda: [
+            figure_6_2(sweep, applications=_class_filter(sweep, app_class))
+            for app_class in (1, 2, 3)
+        ]
+    )
+    for figure in figures:
+        print("\n" + render_figure(figure))
+        totals = dict(zip(figure.bar_labels, figure.totals()))
+        assert all(totals[label] < 1.0 for label in _conservative_labels(sweep))
+
+
+def test_figure_6_3_total_energy(benchmark, sweep):
+    figure = benchmark(figure_6_3, sweep)
+    print("\n" + render_figure(figure))
+    values = dict(zip(figure.bar_labels, figure.series[0].values))
+    # Total system energy of the non-aggressive eDRAM configurations is below
+    # full SRAM, but by less than the memory-only saving (cores and network
+    # are unchanged by the memory technology).
+    memory = dict(zip(figure.bar_labels, figure_6_1(sweep).totals()))
+    for label in _conservative_labels(sweep):
+        assert values[label] < 1.0
+    for label, system in values.items():
+        assert system > memory[label]
+
+
+def test_figure_6_4_execution_time(benchmark, sweep):
+    figure = benchmark(figure_6_4, sweep)
+    print("\n" + render_figure(figure))
+    times = dict(zip(figure.bar_labels, figure.series[0].values))
+    for retention in sweep.retention_times():
+        points = {p.policy_label: p.label for p in sweep.points_for_retention(retention)}
+        # Periodic-All slows down more than Refrint-WB(32,32) (Section 6.5).
+        assert times[points["P.all"]] > times[points["R.WB(32,32)"]]
+        # Refrint with a conservative policy stays close to full-SRAM speed.
+        assert times[points["R.valid"]] < 1.10
+
+
+def test_headline_numbers(benchmark, sweep):
+    """The abstract's comparison at 50 us retention.
+
+    Paper: Periodic-All consumes 50 % of the SRAM memory energy with an 18 %
+    slowdown; Refrint WB(32,32) consumes 36 % with a 2 % slowdown (and 72 %
+    vs 61 % of system energy).  The reproduction checks the ordering and the
+    rough magnitudes; EXPERIMENTS.md records the measured values.
+    """
+    summary = benchmark(headline_summary, sweep, 50.0)
+    print("\nheadline summary @50us:")
+    for key, value in summary.items():
+        print(f"  {key:28s} {value:.3f}")
+    assert 0.35 <= summary["periodic_all_memory"] <= 0.70
+    assert 0.30 <= summary["refrint_wb32_memory"] <= 0.55
+    assert summary["refrint_wb32_memory"] < summary["periodic_all_memory"]
+    assert summary["refrint_wb32_system"] < summary["periodic_all_system"]
+    assert summary["periodic_all_time"] > 1.03
+    assert summary["refrint_wb32_time"] < 1.08
+    assert summary["refrint_wb32_time"] < summary["periodic_all_time"]

@@ -1,0 +1,84 @@
+"""Throughput benchmarks of the simulator itself.
+
+These do not correspond to a paper table or figure; they track how fast the
+substrates run (references simulated per second for each configuration
+family and the cost of one full sweep point), which is what determines how
+large an experiment the harness can afford.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config.parameters import (
+    DataPolicySpec,
+    RefreshConfig,
+    SimulationConfig,
+    TimingPolicyKind,
+)
+from repro.config.presets import scaled_architecture, scaled_retention_cycles
+from repro.core.simulator import RefrintSimulator
+from repro.workloads.suite import build_application
+
+#: Trace length used by the throughput benchmarks (short but non-trivial).
+LENGTH = 0.15
+
+
+@pytest.fixture(scope="module")
+def architecture():
+    return scaled_architecture()
+
+
+@pytest.fixture(scope="module")
+def workload(architecture):
+    return build_application("barnes", architecture, length_scale=LENGTH)
+
+
+def _edram_config(architecture, timing, data):
+    retention = scaled_retention_cycles(50.0)
+    refresh = RefreshConfig(
+        retention_cycles=retention,
+        sentry_margin_cycles=RefreshConfig.derive_sentry_margin(
+            architecture.l3_bank.num_lines, retention
+        ),
+        timing_policy=timing,
+        l3_data_policy=data,
+    )
+    return SimulationConfig.edram(refresh, architecture)
+
+
+def test_simulate_sram_baseline(benchmark, architecture, workload):
+    result = benchmark.pedantic(
+        lambda: RefrintSimulator(SimulationConfig.sram(architecture)).run(workload),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert result.execution_cycles > 0
+
+
+def test_simulate_edram_periodic_all(benchmark, architecture, workload):
+    config = _edram_config(
+        architecture, TimingPolicyKind.PERIODIC, DataPolicySpec.all_lines()
+    )
+    result = benchmark.pedantic(
+        lambda: RefrintSimulator(config).run(workload),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert result.counter("l3_refreshes") > 0
+
+
+def test_simulate_edram_refrint_wb(benchmark, architecture, workload):
+    config = _edram_config(
+        architecture, TimingPolicyKind.REFRINT, DataPolicySpec.writeback(32, 32)
+    )
+    result = benchmark.pedantic(
+        lambda: RefrintSimulator(config).run(workload),
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    assert result.counter("decay_violations") == 0
+
+
+def test_workload_generation(benchmark, architecture):
+    workload = benchmark(
+        build_application, "fft", architecture, 0.5
+    )
+    assert workload.total_references() > 0

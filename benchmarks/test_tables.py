@@ -1,0 +1,60 @@
+"""Benchmarks regenerating the paper's descriptive tables.
+
+Tables 3.1, 5.1, 5.2, 5.3, 5.4 and 6.1 are regenerated from the library's
+own data structures; each benchmark times the regeneration and asserts the
+content matches the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import (
+    application_binning_table,
+    applications_table,
+    architecture_table,
+    cell_comparison_table,
+    policy_taxonomy_table,
+    render_table,
+    sweep_table,
+)
+
+
+def test_table_3_1_policy_taxonomy(benchmark):
+    text = benchmark(lambda: render_table(policy_taxonomy_table()))
+    print("\n" + text)
+    for policy in ("Periodic", "Refrint", "All", "Valid", "Dirty", "WB(n,m)"):
+        assert policy in text
+
+
+def test_table_5_1_architecture(benchmark):
+    text = benchmark(lambda: render_table(architecture_table()))
+    print("\n" + text)
+    assert "16 core CMP" in text
+    assert "4 x 4 torus" in text
+    assert "Directory MESI protocol at L3" in text
+
+
+def test_table_5_2_cell_comparison(benchmark):
+    text = benchmark(lambda: render_table(cell_comparison_table()))
+    print("\n" + text)
+    assert "0.25" in text  # eDRAM leakage ratio
+    assert "access energy" in text  # refresh energy == access energy
+
+
+def test_table_5_3_applications(benchmark):
+    table = benchmark(applications_table)
+    print("\n" + render_table(table))
+    assert len(table.rows) == 11
+
+
+def test_table_5_4_parameter_sweep(benchmark):
+    text = benchmark(lambda: render_table(sweep_table()))
+    print("\n" + text)
+    assert "42" in text
+    assert "50 us, 100 us, 200 us" in text
+
+
+def test_table_6_1_application_binning(benchmark):
+    text = benchmark(lambda: render_table(application_binning_table()))
+    print("\n" + text)
+    assert "Class 1" in text and "Class 2" in text and "Class 3" in text
+    assert "fft" in text and "barnes" in text and "raytrace" in text

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: compare a full-SRAM hierarchy with Refrint-managed eDRAM.
+
+This example runs one 16-threaded synthetic application (``fft``) on three
+configurations of the simulated chip multiprocessor:
+
+* the full-SRAM baseline,
+* a naive full-eDRAM hierarchy (Periodic timing, All data policy), and
+* Refrint with the WB(32, 32) data policy at the L3,
+
+and prints the memory-energy and execution-time comparison the paper's
+abstract quotes.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.config.parameters import (
+    DataPolicySpec,
+    RefreshConfig,
+    SimulationConfig,
+    TimingPolicyKind,
+)
+from repro.core.simulator import RefrintSimulator
+from repro.workloads.suite import build_application
+
+
+def edram_config(base: SimulationConfig, timing: TimingPolicyKind,
+                 data: DataPolicySpec) -> SimulationConfig:
+    """Clone the scaled eDRAM configuration with a different policy pair."""
+    assert base.refresh is not None
+    refresh = RefreshConfig(
+        retention_cycles=base.refresh.retention_cycles,
+        sentry_margin_cycles=base.refresh.sentry_margin_cycles,
+        timing_policy=timing,
+        l3_data_policy=data,
+    )
+    return SimulationConfig.edram(refresh, base.architecture)
+
+
+def main() -> None:
+    # A laptop-scale configuration: the cache geometry and the 50 us eDRAM
+    # retention period are scaled down together so that the refresh pressure
+    # per line matches the paper's full-size system.
+    reference = SimulationConfig.scaled(retention_us=50.0)
+    workload = build_application("fft", reference, length_scale=0.5)
+    print(
+        f"workload: {workload.name} ({workload.num_threads} threads, "
+        f"{workload.total_references()} data references)"
+    )
+
+    configurations = {
+        "full-SRAM baseline": reference.as_sram_baseline(),
+        "eDRAM Periodic.All (naive)": edram_config(
+            reference, TimingPolicyKind.PERIODIC, DataPolicySpec.all_lines()
+        ),
+        "eDRAM Refrint.WB(32,32)": edram_config(
+            reference, TimingPolicyKind.REFRINT, DataPolicySpec.writeback(32, 32)
+        ),
+    }
+
+    results = {}
+    for label, config in configurations.items():
+        print(f"simulating {label} ...")
+        results[label] = RefrintSimulator(config).run(workload)
+
+    baseline = results["full-SRAM baseline"]
+    print()
+    print(f"{'configuration':32s} {'memory energy':>14s} {'system energy':>14s} {'exec. time':>11s}")
+    for label, result in results.items():
+        memory = result.normalised_memory_energy(baseline)
+        system = result.normalised_system_energy(baseline)
+        time = result.normalised_execution_time(baseline)
+        print(f"{label:32s} {memory:14.3f} {system:14.3f} {time:11.3f}")
+    print()
+    print("(all values normalised to the full-SRAM baseline, as in the paper)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments whose setuptools predates PEP 660 editable-wheel support
+(``pip install -e .`` then falls back to the classic ``setup.py develop``
+path, which needs this file).
+"""
+
+from setuptools import setup
+
+setup()

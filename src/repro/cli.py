@@ -1,0 +1,216 @@
+"""Command-line interface for the Refrint reproduction.
+
+Three subcommands cover the common workflows without writing any Python:
+
+``tables``
+    Print the paper's descriptive tables (3.1, 5.1-5.4, 6.1), regenerated
+    from the library's own data structures.
+
+``simulate``
+    Run one application on the SRAM baseline and one eDRAM policy point and
+    print the normalised comparison.
+
+``sweep``
+    Run the Table 5.4 sweep for a set of applications, print the figures of
+    Chapter 6 as text tables, and optionally write a JSON summary and a
+    Markdown report.
+
+Examples::
+
+    python -m repro.cli tables
+    python -m repro.cli simulate --application fft --timing refrint \
+        --data "WB(32,32)" --retention-us 50
+    python -m repro.cli sweep --applications fft,barnes,blackscholes \
+        --length-scale 0.5 --report sweep.md --json sweep.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.config.parameters import DataPolicySpec, SimulationConfig, TimingPolicyKind
+from repro.config.presets import scaled_architecture
+from repro.core.simulator import RefrintSimulator
+from repro.core.sweep import PolicyPoint, default_policy_points, run_sweep
+from repro.experiments import figures as figure_module
+from repro.experiments import tables as table_module
+from repro.experiments.report import sweep_report
+from repro.experiments.runner import headline_summary
+from repro.workloads.suite import APPLICATION_NAMES, build_application, build_suite
+
+
+def parse_data_policy(text: str) -> DataPolicySpec:
+    """Parse a data-policy label: all, valid, dirty or WB(n,m)."""
+    label = text.strip().lower()
+    if label == "all":
+        return DataPolicySpec.all_lines()
+    if label == "valid":
+        return DataPolicySpec.valid()
+    if label == "dirty":
+        return DataPolicySpec.dirty()
+    match = re.fullmatch(r"wb\((\d+),\s*(\d+)\)", label)
+    if match:
+        return DataPolicySpec.writeback(int(match.group(1)), int(match.group(2)))
+    raise argparse.ArgumentTypeError(
+        f"unknown data policy {text!r}; expected all, valid, dirty or WB(n,m)"
+    )
+
+
+def parse_timing_policy(text: str) -> TimingPolicyKind:
+    """Parse a timing-policy name: periodic or refrint."""
+    label = text.strip().lower()
+    if label in ("periodic", "p"):
+        return TimingPolicyKind.PERIODIC
+    if label in ("refrint", "r"):
+        return TimingPolicyKind.REFRINT
+    raise argparse.ArgumentTypeError(
+        f"unknown timing policy {text!r}; expected periodic or refrint"
+    )
+
+
+def parse_applications(text: str) -> List[str]:
+    """Parse a comma-separated application list (or ``all``)."""
+    if text.strip().lower() == "all":
+        return list(APPLICATION_NAMES)
+    names = [name.strip() for name in text.split(",") if name.strip()]
+    unknown = [name for name in names if name not in APPLICATION_NAMES]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown applications: {', '.join(unknown)}"
+        )
+    return names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Refrint eDRAM refresh reproduction"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("tables", help="print the paper's descriptive tables")
+
+    simulate = commands.add_parser(
+        "simulate", help="run one application on one eDRAM policy point"
+    )
+    simulate.add_argument(
+        "--application", default="fft", choices=sorted(APPLICATION_NAMES)
+    )
+    simulate.add_argument("--timing", type=parse_timing_policy, default="refrint")
+    simulate.add_argument("--data", type=parse_data_policy, default="WB(32,32)")
+    simulate.add_argument("--retention-us", type=float, default=50.0)
+    simulate.add_argument("--length-scale", type=float, default=0.5)
+
+    sweep = commands.add_parser("sweep", help="run the Table 5.4 sweep")
+    sweep.add_argument(
+        "--applications", type=parse_applications, default=["fft", "barnes", "blackscholes"]
+    )
+    sweep.add_argument("--length-scale", type=float, default=0.5)
+    sweep.add_argument(
+        "--retentions", default="50,100,200",
+        help="comma-separated retention times in microseconds",
+    )
+    sweep.add_argument("--json", type=Path, default=None, help="write a JSON summary")
+    sweep.add_argument("--report", type=Path, default=None, help="write a Markdown report")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+def _run_tables(out) -> int:
+    for table in (
+        table_module.policy_taxonomy_table(),
+        table_module.architecture_table(),
+        table_module.cell_comparison_table(),
+        table_module.applications_table(),
+        table_module.sweep_table(),
+        table_module.application_binning_table(),
+    ):
+        print(table_module.render_table(table), file=out)
+        print(file=out)
+    return 0
+
+
+def _run_simulate(args, out) -> int:
+    architecture = scaled_architecture()
+    point = PolicyPoint(args.retention_us, args.timing, args.data)
+    workload = build_application(
+        args.application, architecture, length_scale=args.length_scale
+    )
+    print(f"simulating {args.application} / SRAM baseline ...", file=out)
+    baseline = RefrintSimulator(SimulationConfig.sram(architecture)).run(workload)
+    print(f"simulating {args.application} / {point.label} ...", file=out)
+    result = RefrintSimulator(point.simulation_config(architecture)).run(workload)
+    print(file=out)
+    print(f"memory energy vs SRAM : {result.normalised_memory_energy(baseline):.3f}", file=out)
+    print(f"system energy vs SRAM : {result.normalised_system_energy(baseline):.3f}", file=out)
+    print(f"execution time vs SRAM: {result.normalised_execution_time(baseline):.3f}", file=out)
+    print(f"L3 refreshes          : {result.counter('l3_refreshes')}", file=out)
+    print(f"DRAM accesses         : {result.counter('dram_accesses')}", file=out)
+    return 0
+
+
+def _run_sweep(args, out) -> int:
+    architecture = scaled_architecture()
+    retentions = tuple(
+        float(value) for value in str(args.retentions).split(",") if value.strip()
+    )
+    points = default_policy_points(retention_times_us=retentions)
+    workloads = build_suite(
+        architecture, length_scale=args.length_scale, names=list(args.applications)
+    )
+    sweep = run_sweep(
+        workloads,
+        architecture=architecture,
+        points=points,
+        progress=lambda message: print(f"  {message}", file=out),
+    )
+    for figure_fn in (
+        figure_module.figure_6_1,
+        figure_module.figure_6_2,
+        figure_module.figure_6_3,
+        figure_module.figure_6_4,
+    ):
+        print(file=out)
+        print(figure_module.render_figure(figure_fn(sweep)), file=out)
+    try:
+        summary = headline_summary(sweep, retention_us=retentions[0])
+        print(file=out)
+        print(f"headline @{retentions[0]:g}us:", file=out)
+        for key, value in summary.items():
+            print(f"  {key:28s} {value:.3f}", file=out)
+    except ValueError:
+        pass
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(sweep.to_dict(), indent=2, sort_keys=True))
+        print(f"wrote {args.json}", file=out)
+    if args.report is not None:
+        args.report.parent.mkdir(parents=True, exist_ok=True)
+        args.report.write_text(sweep_report(sweep))
+        print(f"wrote {args.report}", file=out)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "tables":
+        return _run_tables(out)
+    if args.command == "simulate":
+        return _run_simulate(args, out)
+    if args.command == "sweep":
+        return _run_sweep(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

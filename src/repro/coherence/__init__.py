@@ -1,0 +1,7 @@
+"""Directory MESI coherence protocol (directory at the shared L3)."""
+
+from repro.coherence.directory import Directory
+from repro.coherence.messages import MessageKind
+from repro.coherence.protocol import DirectoryProtocol
+
+__all__ = ["Directory", "DirectoryProtocol", "MessageKind"]

@@ -1,0 +1,520 @@
+"""Directory MESI protocol engine.
+
+This module contains the functional coherence protocol of the simulated CMP:
+a directory MESI protocol with the directory held at the shared L3
+(Table 5.1), an inclusive hierarchy (an L3 eviction or refresh-policy
+invalidation back-invalidates the L2/L1 copies above it), a write-through
+data L1 and write-back L2/L3.
+
+The protocol is *functionally atomic*: when a core issues a load, store or
+instruction fetch, the complete transaction (lookups, directory actions,
+network traversals, DRAM accesses, fills and evictions) is applied in one
+call which returns the end-to-end latency in cycles.  Races and transient
+states are not modelled; the refresh controllers interleave with accesses in
+event order and interact with the protocol only through the well-defined
+entry points ``policy_invalidate_l3 / policy_writeback_l3 /
+policy_invalidate_l2 / policy_writeback_l2``.
+
+Every cache access, network message and DRAM access is recorded in a shared
+:class:`~repro.utils.statistics.Counter`, from which the energy model builds
+its account.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.coherence.directory import Directory
+from repro.coherence.messages import MessageKind
+from repro.config.parameters import ArchitectureConfig
+from repro.hierarchy.levels import CoreCaches, L3Bank
+from repro.mem.cache import Cache, EvictionResult
+from repro.mem.dram import MainMemory
+from repro.mem.line import DirectoryLine, MESIState
+from repro.noc.network import TorusNetwork
+from repro.utils.addr import block_address as to_block
+from repro.utils.addr import interleaved_bank
+from repro.utils.statistics import Counter
+
+
+class DirectoryProtocol:
+    """The full-chip coherence protocol over private caches and L3 banks."""
+
+    def __init__(
+        self,
+        architecture: ArchitectureConfig,
+        cores: Sequence[CoreCaches],
+        banks: Sequence[L3Bank],
+        network: TorusNetwork,
+        dram: MainMemory,
+        counters: Counter,
+    ) -> None:
+        self.architecture = architecture
+        self.cores = list(cores)
+        self.banks = list(banks)
+        self.network = network
+        self.dram = dram
+        self.counters = counters
+        self._line_bytes = architecture.line_bytes
+
+    # ------------------------------------------------------------------
+    # Address helpers
+    # ------------------------------------------------------------------
+
+    def block_of(self, address: int) -> int:
+        """Block address containing a byte address."""
+        return to_block(address, self._line_bytes)
+
+    def home_bank(self, block: int) -> L3Bank:
+        """The statically mapped home L3 bank of a block."""
+        index = interleaved_bank(block, self._line_bytes, len(self.banks))
+        return self.banks[index]
+
+    # ------------------------------------------------------------------
+    # Core-visible operations
+    # ------------------------------------------------------------------
+
+    def read(self, core_id: int, address: int, cycle: int) -> int:
+        """Data load by ``core_id``; returns the latency in cycles."""
+        return self._load(core_id, address, cycle, instruction=False)
+
+    def instruction_fetch(self, core_id: int, address: int, cycle: int) -> int:
+        """Instruction fetch by ``core_id``; returns the latency in cycles."""
+        return self._load(core_id, address, cycle, instruction=True)
+
+    def write(self, core_id: int, address: int, cycle: int) -> int:
+        """Data store by ``core_id``; returns the latency in cycles.
+
+        The data L1 is write-through / write-no-allocate: the store updates
+        the L1 copy if present and always proceeds to the L2, which must hold
+        the line with write permission (M or E).
+        """
+        caches = self.cores[core_id]
+        block = self.block_of(address)
+        latency = self._array_access(caches.l1d, "l1d", "write", cycle, block)
+        l1_hit = caches.l1d.access(block, cycle).hit
+        if l1_hit:
+            self.counters.add("l1d_hits")
+        else:
+            self.counters.add("l1d_misses")
+
+        latency += self._array_access(caches.l2, "l2", "write", cycle + latency, block)
+        l2_result = caches.l2.access(block, cycle + latency)
+        if l2_result.hit:
+            self.counters.add("l2_hits")
+            assert l2_result.line is not None
+            line = l2_result.line
+            if line.state is MESIState.MODIFIED:
+                return latency
+            if line.state is MESIState.EXCLUSIVE:
+                line.state = MESIState.MODIFIED
+                return latency
+            # SHARED: needs an upgrade from the directory.
+            latency += self._upgrade(core_id, block, cycle + latency)
+            line.state = MESIState.MODIFIED
+            return latency
+        self.counters.add("l2_misses")
+        latency += self._fetch_into_l2(
+            core_id, block, cycle + latency, for_write=True
+        )
+        l2_line = caches.l2.probe(block)
+        assert l2_line is not None, "fetch_into_l2 must install the block"
+        l2_line.state = MESIState.MODIFIED
+        return latency
+
+    def flush_dirty(self, cycle: int) -> None:
+        """Write every dirty line back to DRAM (end-of-run accounting).
+
+        Section 6: at the end of the simulation all dirty data is written
+        back to main memory so that policies which push data off chip early
+        are compared fairly against those that keep it on chip.
+        """
+        for caches in self.cores:
+            for set_idx, line in caches.l2.iter_lines():
+                if line.valid and line.state is MESIState.MODIFIED:
+                    block = caches.l2.block_address_of(set_idx, line)
+                    bank = self.home_bank(block)
+                    self._count_message(
+                        MessageKind.WRITEBACK, caches.core_id, bank.vertex, data=True
+                    )
+                    self._array_access(bank.cache, "l3", "write", cycle, block)
+                    l3_line = bank.cache.probe(block)
+                    if isinstance(l3_line, DirectoryLine) and l3_line.valid:
+                        l3_line.mark_dirty()
+                        Directory.clear_owner(l3_line)
+                    line.state = MESIState.SHARED
+        for bank in self.banks:
+            for _, line in bank.cache.iter_lines():
+                if isinstance(line, DirectoryLine) and line.dirty:
+                    self.dram.write(0)
+                    line.mark_clean()
+
+    # ------------------------------------------------------------------
+    # Refresh-policy entry points
+    # ------------------------------------------------------------------
+
+    def policy_invalidate_l3(
+        self, bank: L3Bank, set_idx: int, line: DirectoryLine, cycle: int
+    ) -> None:
+        """Invalidate an L3 line on behalf of a refresh policy.
+
+        Dirty data (at the L3 or in an upper-level M copy) is written back to
+        DRAM; all upper-level copies are back-invalidated to preserve
+        inclusion.  The extra messages and DRAM accesses are the cost the
+        Dirty / WB(n, m) policies pay for letting lines decay (Section 3.1).
+        """
+        if not line.valid:
+            return
+        block = bank.cache.block_address_of(set_idx, line)
+        self.counters.add("l3_policy_invalidations")
+        dirty_above = self._back_invalidate(bank, block, line, cycle)
+        if line.dirty or dirty_above:
+            self.dram.write(block)
+            self.counters.add("l3_policy_writebacks_to_dram")
+        line.invalidate()
+
+    def policy_writeback_l3(
+        self, bank: L3Bank, set_idx: int, line: DirectoryLine, cycle: int
+    ) -> None:
+        """Write a dirty L3 line back to DRAM and mark it valid-clean.
+
+        Used by the WB(n, m) policy when a dirty line has exhausted its n
+        refreshes: the write-back itself recharges the eDRAM cells, so the
+        line stays valid (now clean) for another retention period.
+        """
+        if not line.dirty:
+            return
+        block = bank.cache.block_address_of(set_idx, line)
+        self.dram.write(block)
+        self.counters.add("l3_policy_writebacks")
+        line.mark_clean()
+        line.refresh(cycle)
+
+    def policy_invalidate_l2(
+        self, core_id: int, set_idx: int, line, cycle: int
+    ) -> None:
+        """Invalidate an L2 line on behalf of a refresh policy."""
+        caches = self.cores[core_id]
+        if not line.valid:
+            return
+        block = caches.l2.block_address_of(set_idx, line)
+        self.counters.add("l2_policy_invalidations")
+        if line.state is MESIState.MODIFIED:
+            self._writeback_l2_to_l3(core_id, block, cycle)
+        self._notify_clean_eviction(core_id, block, cycle)
+        caches.invalidate_l1_copies(block)
+        line.invalidate()
+
+    def policy_writeback_l2(
+        self, core_id: int, set_idx: int, line, cycle: int
+    ) -> None:
+        """Write a dirty L2 line back to the L3 and keep it valid-clean."""
+        caches = self.cores[core_id]
+        if not line.valid or line.state is not MESIState.MODIFIED:
+            return
+        block = caches.l2.block_address_of(set_idx, line)
+        self._writeback_l2_to_l3(core_id, block, cycle)
+        self.counters.add("l2_policy_writebacks")
+        line.state = MESIState.EXCLUSIVE
+        line.refresh(cycle)
+
+    # ------------------------------------------------------------------
+    # Load path (data and instruction)
+    # ------------------------------------------------------------------
+
+    def _load(
+        self, core_id: int, address: int, cycle: int, instruction: bool
+    ) -> int:
+        caches = self.cores[core_id]
+        l1 = caches.l1i if instruction else caches.l1d
+        level = "l1i" if instruction else "l1d"
+        block = self.block_of(address)
+
+        latency = self._array_access(l1, level, "read", cycle, block)
+        if l1.access(block, cycle).hit:
+            self.counters.add(f"{level}_hits")
+            return latency
+        self.counters.add(f"{level}_misses")
+
+        latency += self._array_access(caches.l2, "l2", "read", cycle + latency, block)
+        l2_result = caches.l2.access(block, cycle + latency)
+        if l2_result.hit:
+            self.counters.add("l2_hits")
+        else:
+            self.counters.add("l2_misses")
+            latency += self._fetch_into_l2(
+                core_id, block, cycle + latency, for_write=False
+            )
+        # Fill the L1 (write into the L1 array).
+        latency += self._fill_l1(l1, level, block, cycle + latency)
+        return latency
+
+    def _fill_l1(self, l1: Cache, level: str, block: int, cycle: int) -> int:
+        """Install a block in an L1; the victim is clean (write-through)."""
+        victim = l1.choose_victim(block)
+        l1.fill(block, MESIState.SHARED, cycle, victim)
+        self.counters.add(f"{level}_writes")
+        return 0
+
+    # ------------------------------------------------------------------
+    # L2 miss handling (GetS / GetM at the directory)
+    # ------------------------------------------------------------------
+
+    def _fetch_into_l2(
+        self, core_id: int, block: int, cycle: int, for_write: bool
+    ) -> int:
+        """Fetch a block into the core's L2 from the L3 / DRAM.
+
+        Returns the latency of the remote part of the transaction (network,
+        L3, optional owner fetch, optional DRAM) plus the local fill cost.
+        """
+        caches = self.cores[core_id]
+        bank = self.home_bank(block)
+        kind = MessageKind.WRITE_REQUEST if for_write else MessageKind.READ_REQUEST
+        latency = self._count_message(kind, core_id, bank.vertex, data=False)
+        latency += self._array_access(bank.cache, "l3", "read", cycle + latency, block)
+
+        l3_result = bank.cache.access(block, cycle + latency)
+        line = l3_result.line
+        if l3_result.hit:
+            self.counters.add("l3_hits")
+            assert isinstance(line, DirectoryLine)
+            latency += self._serve_from_l3(
+                core_id, bank, block, line, cycle, for_write
+            )
+        else:
+            self.counters.add("l3_misses")
+            line = self._fill_l3_from_dram(bank, block, cycle + latency)
+            latency += self.dram.access_cycles
+            if for_write:
+                Directory.record_writer(line, core_id)
+            else:
+                Directory.record_reader(line, core_id)
+        granted_exclusive = for_write or not Directory.sharers_other_than(
+            line, core_id
+        )
+
+        # Data reply back to the requesting core.
+        latency += self._count_message(
+            MessageKind.DATA_REPLY, bank.vertex, core_id, data=True
+        )
+
+        # Install in the L2, handling the inclusion victim.
+        victim = caches.l2.choose_victim(block)
+        if victim.was_valid:
+            self._handle_l2_eviction(core_id, victim, cycle + latency)
+        state = MESIState.EXCLUSIVE if granted_exclusive else MESIState.SHARED
+        caches.l2.fill(block, state, cycle + latency, victim)
+        self.counters.add("l2_writes")
+        return latency
+
+    def _serve_from_l3(
+        self,
+        core_id: int,
+        bank: L3Bank,
+        block: int,
+        line: DirectoryLine,
+        cycle: int,
+        for_write: bool,
+    ) -> int:
+        """Directory actions for a hit at the home L3 bank."""
+        latency = 0
+        owner = line.owner
+        if owner is not None and owner != core_id:
+            latency += self._recall_from_owner(bank, block, line, owner, cycle)
+        if for_write:
+            # Invalidate every other copy and hand exclusive ownership over.
+            for other in sorted(Directory.sharers_other_than(line, core_id)):
+                latency += self._invalidate_upper(bank, block, line, other, cycle)
+            Directory.record_writer(line, core_id)
+        else:
+            Directory.record_reader(line, core_id)
+        return latency
+
+    def _recall_from_owner(
+        self, bank: L3Bank, block: int, line: DirectoryLine, owner: int, cycle: int
+    ) -> int:
+        """Fetch the latest data from the owning core's L2 (M or E copy)."""
+        latency = self._count_message(
+            MessageKind.OWNER_FETCH, bank.vertex, owner, data=False
+        )
+        owner_caches = self.cores[owner]
+        latency += self._array_access(owner_caches.l2, "l2", "read", cycle + latency, block)
+        owner_line = owner_caches.l2.probe(block)
+        dirty = owner_line is not None and owner_line.state is MESIState.MODIFIED
+        if owner_line is not None:
+            owner_line.state = MESIState.SHARED
+        if dirty:
+            latency += self._count_message(
+                MessageKind.WRITEBACK, owner, bank.vertex, data=True
+            )
+            self._array_access(bank.cache, "l3", "write", cycle + latency, block)
+            line.mark_dirty()
+            line.refresh(cycle + latency)
+        else:
+            latency += self._count_message(
+                MessageKind.ACK, owner, bank.vertex, data=False
+            )
+        Directory.clear_owner(line)
+        return latency
+
+    def _fill_l3_from_dram(
+        self, bank: L3Bank, block: int, cycle: int
+    ) -> DirectoryLine:
+        """Bring a block on chip, evicting (and back-invalidating) a victim."""
+        self.dram.read(block)
+        victim = bank.cache.choose_victim(block)
+        if victim.was_valid:
+            victim_line = victim.line
+            assert isinstance(victim_line, DirectoryLine)
+            self.counters.add("l3_evictions")
+            dirty_above = self._back_invalidate(
+                bank, victim.block_address, victim_line, cycle
+            )
+            if victim_line.dirty or dirty_above:
+                self.dram.write(victim.block_address)
+                self.counters.add("l3_eviction_writebacks")
+        line = bank.cache.fill(block, MESIState.SHARED, cycle, victim)
+        self.counters.add("l3_writes")
+        assert isinstance(line, DirectoryLine)
+        return line
+
+    # ------------------------------------------------------------------
+    # Upgrades, write-backs, invalidations
+    # ------------------------------------------------------------------
+
+    def _upgrade(self, core_id: int, block: int, cycle: int) -> int:
+        """Obtain write permission for a block the core already shares."""
+        bank = self.home_bank(block)
+        latency = self._count_message(
+            MessageKind.UPGRADE_REQUEST, core_id, bank.vertex, data=False
+        )
+        latency += self._array_access(bank.cache, "l3", "read", cycle + latency, block)
+        line = bank.cache.probe(block)
+        if isinstance(line, DirectoryLine) and line.valid:
+            line.touch(cycle + latency)
+            for other in sorted(Directory.sharers_other_than(line, core_id)):
+                latency += self._invalidate_upper(bank, block, line, other, cycle)
+            Directory.record_writer(line, core_id)
+        latency += self._count_message(
+            MessageKind.ACK, bank.vertex, core_id, data=False
+        )
+        return latency
+
+    def _writeback_l2_to_l3(self, core_id: int, block: int, cycle: int) -> None:
+        """Send a dirty L2 line to its home bank (off the critical path)."""
+        bank = self.home_bank(block)
+        self._count_message(MessageKind.WRITEBACK, core_id, bank.vertex, data=True)
+        self._array_access(bank.cache, "l3", "write", cycle, block)
+        line = bank.cache.probe(block)
+        if isinstance(line, DirectoryLine) and line.valid:
+            line.mark_dirty()
+            line.refresh(cycle)
+            Directory.clear_owner(line)
+        else:
+            # Inclusion means the block should be present; if the refresh
+            # policy already discarded it, the data goes straight to DRAM.
+            self.dram.write(block)
+            self.counters.add("l2_writebacks_bypassing_l3")
+
+    def _notify_clean_eviction(self, core_id: int, block: int, cycle: int) -> None:
+        """Tell the directory a clean private copy was dropped."""
+        bank = self.home_bank(block)
+        self._count_message(
+            MessageKind.EVICTION_NOTICE, core_id, bank.vertex, data=False
+        )
+        line = bank.cache.probe(block)
+        if isinstance(line, DirectoryLine) and line.valid:
+            Directory.remove_core(line, core_id)
+
+    def _handle_l2_eviction(
+        self, core_id: int, victim: EvictionResult, cycle: int
+    ) -> None:
+        """Handle the displacement of a valid L2 line (inclusion with L1)."""
+        caches = self.cores[core_id]
+        block = victim.block_address
+        self.counters.add("l2_evictions")
+        if victim.line.state is MESIState.MODIFIED:
+            self._writeback_l2_to_l3(core_id, block, cycle)
+        else:
+            self._notify_clean_eviction(core_id, block, cycle)
+        caches.invalidate_l1_copies(block)
+
+    def _invalidate_upper(
+        self, bank: L3Bank, block: int, line: DirectoryLine, core_id: int, cycle: int
+    ) -> int:
+        """Invalidate one core's private copies of a block (coherence)."""
+        latency = self._count_message(
+            MessageKind.INVALIDATE, bank.vertex, core_id, data=False
+        )
+        caches = self.cores[core_id]
+        l2_line = caches.l2.probe(block)
+        if l2_line is not None:
+            if l2_line.state is MESIState.MODIFIED:
+                latency += self._count_message(
+                    MessageKind.WRITEBACK, core_id, bank.vertex, data=True
+                )
+                self._array_access(bank.cache, "l3", "write", cycle + latency, block)
+                line.mark_dirty()
+                line.refresh(cycle + latency)
+            l2_line.invalidate()
+        caches.invalidate_l1_copies(block)
+        latency += self._count_message(
+            MessageKind.ACK, core_id, bank.vertex, data=False
+        )
+        Directory.remove_core(line, core_id)
+        self.counters.add("coherence_invalidations")
+        return latency
+
+    def _back_invalidate(
+        self, bank: L3Bank, block: int, line: DirectoryLine, cycle: int
+    ) -> bool:
+        """Invalidate every upper-level copy of a block leaving the L3.
+
+        Returns True if any upper-level copy was dirty (its data must then be
+        written back to DRAM by the caller, since the L3 line is going away).
+        """
+        dirty_above = False
+        holders = sorted(Directory.sharers_other_than(line, -1))
+        for core_id in holders:
+            self._count_message(MessageKind.INVALIDATE, bank.vertex, core_id, data=False)
+            caches = self.cores[core_id]
+            l2_line = caches.l2.probe(block)
+            if l2_line is not None and l2_line.valid:
+                if l2_line.state is MESIState.MODIFIED:
+                    dirty_above = True
+                    self._count_message(
+                        MessageKind.WRITEBACK, core_id, bank.vertex, data=True
+                    )
+                l2_line.invalidate()
+            caches.invalidate_l1_copies(block)
+            self._count_message(MessageKind.ACK, core_id, bank.vertex, data=False)
+            self.counters.add("back_invalidations")
+        Directory.reset(line)
+        return dirty_above
+
+    # ------------------------------------------------------------------
+    # Low-level accounting helpers
+    # ------------------------------------------------------------------
+
+    def _array_access(
+        self, cache: Cache, level: str, kind: str, cycle: int, block: int = 0
+    ) -> int:
+        """Charge one array access: energy counter plus latency.
+
+        If the sub-array the block maps to (or the whole array) is busy with
+        refresh work, the access waits until that work completes; the wait
+        is recorded as refresh stall cycles.
+        """
+        self.counters.add(f"{level}_{kind}s")
+        wait = cache.wait_cycles(block, cycle)
+        if wait:
+            self.counters.add(f"{level}_refresh_stall_cycles", wait)
+        return wait + cache.geometry.access_cycles
+
+    def _count_message(self, kind: MessageKind, src: int, dst: int, data: bool) -> int:
+        """Record one network message and return its latency."""
+        self.counters.add(kind.counter_name)
+        if data:
+            return self.network.send_data(src, dst, self._line_bytes)
+        return self.network.send_control(src, dst)

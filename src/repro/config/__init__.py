@@ -1,0 +1,33 @@
+"""Configuration dataclasses and paper presets (Tables 5.1, 5.2, 5.4)."""
+
+from repro.config.parameters import (
+    ArchitectureConfig,
+    CacheGeometry,
+    CellTechnology,
+    DataPolicyKind,
+    DataPolicySpec,
+    RefreshConfig,
+    SimulationConfig,
+    TimingPolicyKind,
+)
+from repro.config.presets import (
+    paper_architecture,
+    paper_data_policies,
+    paper_retention_times_cycles,
+    scaled_architecture,
+)
+
+__all__ = [
+    "ArchitectureConfig",
+    "CacheGeometry",
+    "CellTechnology",
+    "DataPolicyKind",
+    "DataPolicySpec",
+    "RefreshConfig",
+    "SimulationConfig",
+    "TimingPolicyKind",
+    "paper_architecture",
+    "paper_data_policies",
+    "paper_retention_times_cycles",
+    "scaled_architecture",
+]

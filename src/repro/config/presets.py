@@ -1,0 +1,158 @@
+"""Named configuration presets.
+
+Two families of presets are provided:
+
+* :func:`paper_architecture` -- the exact geometry of the paper's Table 5.1
+  (32 KB L1s, 256 KB L2, 16 x 1 MB L3 banks, 64 B lines, 1 GHz, 40 ns DRAM).
+  This is used by configuration and energy-table unit tests, and can be
+  simulated directly when runtime is not a concern.
+* :func:`scaled_architecture` -- a geometry scaled down so that pure-Python
+  simulation of the full Table 5.4 sweep finishes in minutes.
+
+Scaling rationale
+-----------------
+
+The results the paper reports are driven by ratios, not absolute sizes:
+
+* the application footprint relative to the L3 capacity (Fig. 3.1),
+* the refresh work per unit time, i.e. lines divided by the retention
+  period (which sets the refresh-energy and cache-blocking pressure),
+* the relative access latencies of L1 / L2 / L3 / DRAM.
+
+The scaled preset therefore shrinks the *shared L3* and the *retention
+period* by the same factor (:data:`L3_SCALE`), which keeps the refresh rate
+in lines-per-cycle -- and hence refresh power -- identical to the full-size
+system.  The L1 and L2 are shrunk less aggressively (:data:`L1_SCALE`,
+:data:`L2_SCALE`) so that realistic hit rates remain possible with small
+synthetic traces; because those levels always run the conservative Valid
+policy and contribute only a few percent of refresh energy (Section 6.2),
+the distortion this introduces (their refresh power is over-estimated by
+roughly the ratio of the scales) is small and conservative -- it slightly
+understates Refrint's advantage.  Workload footprints are expressed
+relative to cache capacities, so they scale along automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.config.parameters import (
+    ArchitectureConfig,
+    CacheGeometry,
+    DataPolicySpec,
+)
+
+#: Retention times evaluated by the paper (Table 5.4), in microseconds.
+PAPER_RETENTION_TIMES_US: Tuple[float, ...] = (50.0, 100.0, 200.0)
+
+#: Scale factor applied to the L1 caches in the scaled preset.
+L1_SCALE: int = 8
+
+#: Scale factor applied to the private L2 caches in the scaled preset.
+L2_SCALE: int = 16
+
+#: Scale factor applied to the shared L3 banks *and* the retention periods.
+L3_SCALE: int = 32
+
+
+def paper_architecture() -> ArchitectureConfig:
+    """The architecture of Table 5.1, at full size."""
+    return ArchitectureConfig(
+        num_cores=16,
+        frequency_hz=1.0e9,
+        l1i=CacheGeometry(
+            name="l1i", size_bytes=32 * 1024, associativity=2, line_bytes=64,
+            access_cycles=1, write_back=False, num_refresh_groups=4,
+            sentry_group_size=1,
+        ),
+        l1d=CacheGeometry(
+            name="l1d", size_bytes=32 * 1024, associativity=4, line_bytes=64,
+            access_cycles=1, write_back=False, num_refresh_groups=4,
+            sentry_group_size=1,
+        ),
+        l2=CacheGeometry(
+            name="l2", size_bytes=256 * 1024, associativity=8, line_bytes=64,
+            access_cycles=2, write_back=True, num_refresh_groups=4,
+            sentry_group_size=4,
+        ),
+        l3_bank=CacheGeometry(
+            name="l3", size_bytes=1024 * 1024, associativity=8, line_bytes=64,
+            access_cycles=4, write_back=True, num_refresh_groups=4,
+            sentry_group_size=16,
+        ),
+        num_l3_banks=16,
+        dram_access_cycles=40,
+        mesh_width=4,
+        mesh_height=4,
+    )
+
+
+def scaled_architecture() -> ArchitectureConfig:
+    """A geometry scaled down for fast pure-Python simulation.
+
+    The defaults yield 4 KB L1s, 16 KB L2s and 32 KB L3 banks (512 KB of
+    aggregate shared L3); the synthetic workload footprints are expressed as
+    ratios of these capacities, so the footprint-to-LLC ratio that defines
+    the paper's application classes is unchanged.
+    """
+    line = 64
+    return ArchitectureConfig(
+        num_cores=16,
+        frequency_hz=1.0e9,
+        l1i=CacheGeometry(
+            name="l1i", size_bytes=32 * 1024 // L1_SCALE, associativity=2,
+            line_bytes=line, access_cycles=1, write_back=False,
+            num_refresh_groups=4, sentry_group_size=1,
+        ),
+        l1d=CacheGeometry(
+            name="l1d", size_bytes=32 * 1024 // L1_SCALE, associativity=4,
+            line_bytes=line, access_cycles=1, write_back=False,
+            num_refresh_groups=4, sentry_group_size=1,
+        ),
+        l2=CacheGeometry(
+            name="l2", size_bytes=256 * 1024 // L2_SCALE, associativity=8,
+            line_bytes=line, access_cycles=2, write_back=True,
+            num_refresh_groups=4, sentry_group_size=4,
+        ),
+        l3_bank=CacheGeometry(
+            name="l3", size_bytes=1024 * 1024 // L3_SCALE, associativity=8,
+            line_bytes=line, access_cycles=4, write_back=True,
+            num_refresh_groups=4, sentry_group_size=16,
+        ),
+        num_l3_banks=16,
+        dram_access_cycles=40,
+        mesh_width=4,
+        mesh_height=4,
+    )
+
+
+def paper_retention_times_cycles(frequency_hz: float = 1.0e9) -> Tuple[int, ...]:
+    """The paper's three retention periods converted to cycles."""
+    return tuple(
+        int(round(us * 1e-6 * frequency_hz)) for us in PAPER_RETENTION_TIMES_US
+    )
+
+
+def scaled_retention_cycles(retention_us: float) -> int:
+    """A paper retention period scaled consistently with the L3 geometry.
+
+    50 us at 1 GHz is 50 000 cycles; divided by :data:`L3_SCALE` it becomes
+    1562 cycles.  Because the number of L3 lines shrinks by the same factor,
+    the refresh work per cycle (lines / retention) matches the full-size
+    system exactly.
+    """
+    full_cycles = retention_us * 1e-6 * 1.0e9
+    return max(64, int(round(full_cycles / L3_SCALE)))
+
+
+def paper_data_policies() -> Tuple[DataPolicySpec, ...]:
+    """The seven data policies of Table 5.4."""
+    return (
+        DataPolicySpec.all_lines(),
+        DataPolicySpec.valid(),
+        DataPolicySpec.dirty(),
+        DataPolicySpec.writeback(4, 4),
+        DataPolicySpec.writeback(8, 8),
+        DataPolicySpec.writeback(16, 16),
+        DataPolicySpec.writeback(32, 32),
+    )

@@ -1,0 +1,144 @@
+"""Simulation results and normalisation against the SRAM baseline.
+
+Every number the paper reports is normalised to the full-SRAM configuration
+running the same application: memory-hierarchy energy (Figs. 6.1 and 6.2),
+total system energy (Fig. 6.3) and execution time (Fig. 6.4).
+:class:`SimulationResult` captures one run; the ``normalised_*`` helpers
+produce the paper's metrics given the matching baseline result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.config.parameters import SimulationConfig
+from repro.energy.accounting import COMPONENTS, MEMORY_LEVELS, EnergyBreakdown
+
+
+@dataclass
+class SimulationResult:
+    """Everything measured in one simulation run.
+
+    Attributes:
+        config: the configuration that was simulated.
+        application: name of the workload.
+        execution_cycles: end-to-end execution time in cycles (the finish
+            time of the slowest core).
+        busy_core_cycles: total cycles the cores spent executing rather than
+            stalled, summed over cores.
+        counters: raw activity counters (hits, misses, refreshes, messages,
+            DRAM accesses, ...).
+        energy: the energy breakdown computed by the energy model.
+        per_core_finish_cycles: finish time of each core.
+    """
+
+    config: SimulationConfig
+    application: str
+    execution_cycles: int
+    busy_core_cycles: int
+    counters: Dict[str, int]
+    energy: EnergyBreakdown
+    per_core_finish_cycles: List[int] = field(default_factory=list)
+
+    # -- raw views -------------------------------------------------------------
+
+    @property
+    def label(self) -> str:
+        """Configuration label (``SRAM``, ``P.all``, ``R.WB(32,32)``, ...)."""
+        return self.config.label
+
+    def memory_energy(self) -> float:
+        """Total memory-hierarchy energy in joules."""
+        return self.energy.memory_total()
+
+    def system_energy(self) -> float:
+        """Total system energy (memory + cores + network) in joules."""
+        return self.energy.system_total()
+
+    def counter(self, name: str) -> int:
+        """A raw counter value (0 when never incremented)."""
+        return self.counters.get(name, 0)
+
+    def miss_rate(self, level: str) -> float:
+        """Miss rate of one level (l1d / l1i / l2 / l3), if it was exercised."""
+        hits = self.counter(f"{level}_hits")
+        misses = self.counter(f"{level}_misses")
+        total = hits + misses
+        return 0.0 if total == 0 else misses / total
+
+    # -- normalisation helpers ---------------------------------------------------
+
+    def normalised_memory_energy(self, baseline: "SimulationResult") -> float:
+        """Memory energy relative to the baseline's memory energy."""
+        base = baseline.memory_energy()
+        _require_positive(base, "baseline memory energy")
+        return self.memory_energy() / base
+
+    def normalised_system_energy(self, baseline: "SimulationResult") -> float:
+        """System energy relative to the baseline's system energy."""
+        base = baseline.system_energy()
+        _require_positive(base, "baseline system energy")
+        return self.system_energy() / base
+
+    def normalised_execution_time(self, baseline: "SimulationResult") -> float:
+        """Execution time relative to the baseline's execution time."""
+        _require_positive(baseline.execution_cycles, "baseline execution time")
+        return self.execution_cycles / baseline.execution_cycles
+
+    def normalised_level_breakdown(
+        self, baseline: "SimulationResult"
+    ) -> Dict[str, float]:
+        """Per-level memory energy relative to the baseline total (Fig. 6.1)."""
+        base = baseline.memory_energy()
+        _require_positive(base, "baseline memory energy")
+        return {
+            level: self.energy.by_level.get(level, 0.0) / base
+            for level in MEMORY_LEVELS
+        }
+
+    def normalised_component_breakdown(
+        self, baseline: "SimulationResult"
+    ) -> Dict[str, float]:
+        """Per-component memory energy relative to the baseline (Fig. 6.2)."""
+        base = baseline.memory_energy()
+        _require_positive(base, "baseline memory energy")
+        return {
+            component: self.energy.by_component.get(component, 0.0) / base
+            for component in COMPONENTS
+        }
+
+    # -- serialisation ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable summary (used by the experiment cache)."""
+        return {
+            "application": self.application,
+            "label": self.label,
+            "execution_cycles": self.execution_cycles,
+            "busy_core_cycles": self.busy_core_cycles,
+            "memory_energy_j": self.memory_energy(),
+            "system_energy_j": self.system_energy(),
+            "energy_by_level": dict(self.energy.by_level),
+            "energy_by_component": dict(self.energy.by_component),
+            "energy_system_parts": dict(self.energy.system),
+            "counters": dict(self.counters),
+            "per_core_finish_cycles": list(self.per_core_finish_cycles),
+        }
+
+
+def _require_positive(value: float, what: str) -> None:
+    if value <= 0:
+        raise ValueError(f"{what} must be positive for normalisation, got {value}")
+
+
+def average_results(values: List[float]) -> float:
+    """Arithmetic mean of normalised metrics over a set of applications.
+
+    The paper presents per-class and all-application averages of normalised
+    energies and times; an arithmetic mean over the normalised values is
+    used here (the choice of mean does not change any qualitative ranking).
+    """
+    if not values:
+        raise ValueError("cannot average an empty set of results")
+    return sum(values) / len(values)

@@ -1,0 +1,137 @@
+"""The top-level Refrint simulator.
+
+:class:`RefrintSimulator` assembles one complete simulation point: the cache
+hierarchy, the trace-replay cores, the refresh controllers (for eDRAM
+configurations) and the energy model, runs the event loop until every core
+drains its trace, performs the end-of-run dirty flush, and returns a
+:class:`~repro.core.results.SimulationResult`.
+
+Typical use::
+
+    config = SimulationConfig.scaled(retention_us=50.0)
+    app = build_application("fft", config)
+    result = RefrintSimulator(config).run(app)
+    baseline = RefrintSimulator(config.as_sram_baseline()).run(app)
+    print(result.normalised_memory_energy(baseline))
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.config.parameters import SimulationConfig
+from repro.core.results import SimulationResult
+from repro.cpu.core import Core
+from repro.energy.model import ActivitySummary, SystemEnergyModel
+from repro.energy.tables import TechnologyTables
+from repro.hierarchy.hierarchy import CacheHierarchy
+from repro.refresh.controller import build_refresh_controllers
+from repro.utils.events import EventQueue
+from repro.workloads.suite import ApplicationWorkload
+
+#: Safety valve on the event loop, in events, to guarantee termination even
+#: if a configuration error were to keep cores from finishing.
+MAX_EVENTS = 200_000_000
+
+
+class RefrintSimulator:
+    """Run one configuration point against one application workload."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        tables: Optional[TechnologyTables] = None,
+    ) -> None:
+        self.config = config
+        self._tables = tables
+
+    def run(self, application: ApplicationWorkload) -> SimulationResult:
+        """Simulate the application and return the measured result."""
+        architecture = self.config.architecture
+        if application.num_threads != architecture.num_cores:
+            raise ValueError(
+                f"workload has {application.num_threads} threads but the chip "
+                f"has {architecture.num_cores} cores"
+            )
+
+        hierarchy = CacheHierarchy(architecture)
+        events = EventQueue()
+        finished: List[int] = []
+
+        def on_finish(cycle: int, core: Core) -> None:
+            finished.append(core.core_id)
+
+        cores = [
+            Core(
+                core_id=core_id,
+                trace=application.traces[core_id],
+                hierarchy=hierarchy,
+                event_queue=events,
+                on_finish=on_finish,
+            )
+            for core_id in range(architecture.num_cores)
+        ]
+
+        controllers = build_refresh_controllers(hierarchy, self.config, events)
+        for controller in controllers:
+            controller.start(0)
+        for core in cores:
+            core.start(0)
+
+        self._run_event_loop(events, finished, len(cores))
+
+        execution_cycles = max(
+            core.stats.finish_cycle or events.now for core in cores
+        )
+        if self.config.flush_dirty_at_end:
+            hierarchy.flush_dirty(execution_cycles)
+
+        busy_core_cycles = sum(core.stats.busy_cycles for core in cores)
+        activity = ActivitySummary(
+            counters=hierarchy.counters,
+            execution_cycles=execution_cycles,
+            busy_core_cycles=busy_core_cycles,
+        )
+        model = SystemEnergyModel(
+            architecture=architecture,
+            technology=self.config.technology,
+            tables=self._tables,
+        )
+        account = model.account_for(activity)
+        return SimulationResult(
+            config=self.config,
+            application=application.name,
+            execution_cycles=execution_cycles,
+            busy_core_cycles=busy_core_cycles,
+            counters=hierarchy.counters.as_dict(),
+            energy=account.breakdown(),
+            per_core_finish_cycles=[
+                core.stats.finish_cycle or execution_cycles for core in cores
+            ],
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    @staticmethod
+    def _run_event_loop(
+        events: EventQueue, finished: List[int], num_cores: int
+    ) -> None:
+        """Drain events until every core has finished its trace.
+
+        Refresh controllers keep rescheduling themselves indefinitely, so the
+        loop terminates on core completion rather than on queue exhaustion.
+        """
+        executed = 0
+        while len(finished) < num_cores:
+            event = events.pop()
+            if event is None:
+                raise RuntimeError(
+                    "event queue drained before all cores finished; "
+                    "a core failed to schedule its next reference"
+                )
+            event.callback(event.time, event.payload)
+            executed += 1
+            if executed > MAX_EVENTS:
+                raise RuntimeError(
+                    "event limit exceeded; the simulation appears to be stuck"
+                )

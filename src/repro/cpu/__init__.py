@@ -1,0 +1,6 @@
+"""Trace-driven cores: memory reference traces and the core model."""
+
+from repro.cpu.core import Core, CoreStats
+from repro.cpu.trace import MemoryOperation, TraceRecord, TraceStream
+
+__all__ = ["Core", "CoreStats", "MemoryOperation", "TraceRecord", "TraceStream"]

@@ -1,0 +1,151 @@
+"""Trace-replay core model.
+
+Each of the 16 cores replays one thread's :class:`~repro.cpu.trace.TraceStream`
+against the shared memory hierarchy.  The model is deliberately simple -- the
+paper's dual-issue out-of-order MIPS32 core is replaced by an in-order engine
+that charges one cycle per non-memory instruction and blocks on every data
+reference until the hierarchy answers.  The effects the evaluation cares
+about are preserved: periodic refresh passes block the arrays and delay the
+accesses behind them, and policies that invalidate useful data early cause
+extra misses whose latency lengthens execution time (Section 6.5).
+
+Instruction fetches are modelled in two parts: every instruction is charged
+one L1I access for energy purposes, and one real instruction fetch is issued
+through the hierarchy per ``ifetch_interval`` instructions (walking a small
+per-thread code region) so the instruction working set occupies cache lines
+and is subject to refresh like everything else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.cpu.trace import TraceStream
+from repro.hierarchy.hierarchy import CacheHierarchy
+from repro.utils.events import EventQueue
+
+#: Number of instructions represented by one real instruction-fetch access.
+DEFAULT_IFETCH_INTERVAL = 16
+
+#: Bytes of the per-thread code region walked by the modelled fetches.  Kept
+#: small (an inner-loop sized footprint) so that, on the scaled geometry,
+#: code does not crowd data out of the small private caches.
+DEFAULT_CODE_REGION_BYTES = 512
+
+
+@dataclass
+class CoreStats:
+    """Per-core execution statistics."""
+
+    references_completed: int = 0
+    instructions_executed: int = 0
+    busy_cycles: int = 0
+    stall_cycles: int = 0
+    finish_cycle: Optional[int] = None
+
+    @property
+    def finished(self) -> bool:
+        """True once the core has drained its trace."""
+        return self.finish_cycle is not None
+
+
+class Core:
+    """One trace-replay core attached to the shared hierarchy."""
+
+    def __init__(
+        self,
+        core_id: int,
+        trace: TraceStream,
+        hierarchy: CacheHierarchy,
+        event_queue: EventQueue,
+        code_base_address: Optional[int] = None,
+        ifetch_interval: int = DEFAULT_IFETCH_INTERVAL,
+        code_region_bytes: int = DEFAULT_CODE_REGION_BYTES,
+        on_finish: Optional[Callable[[int, "Core"], None]] = None,
+    ) -> None:
+        if ifetch_interval < 1:
+            raise ValueError("ifetch_interval must be >= 1")
+        self.core_id = core_id
+        self.trace = trace
+        self.hierarchy = hierarchy
+        self.events = event_queue
+        self.stats = CoreStats()
+        self.ifetch_interval = ifetch_interval
+        self.code_region_bytes = code_region_bytes
+        # Each thread executes from its own code region high in the address
+        # space so code and data never collide.
+        self.code_base_address = (
+            code_base_address
+            if code_base_address is not None
+            else (1 << 40) + core_id * code_region_bytes
+        )
+        self._on_finish = on_finish
+        self._next_index = 0
+        self._instructions_since_ifetch = 0
+        self._code_offset = 0
+        self._line_bytes = hierarchy.architecture.line_bytes
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self, cycle: int) -> None:
+        """Schedule the core's first reference at ``cycle``."""
+        if len(self.trace) == 0:
+            self._finish(cycle)
+            return
+        first_gap = self.trace[0].gap_instructions
+        self.events.schedule(cycle + first_gap, self._on_reference, payload=None)
+        self.stats.busy_cycles += first_gap
+        self._account_instructions(cycle, first_gap)
+
+    @property
+    def finished(self) -> bool:
+        """True once the core has drained its trace."""
+        return self.stats.finished
+
+    # -- event handling ---------------------------------------------------------
+
+    def _on_reference(self, cycle: int, _payload: Any) -> None:
+        record = self.trace[self._next_index]
+        if record.is_write:
+            latency = self.hierarchy.write(self.core_id, record.address, cycle)
+        else:
+            latency = self.hierarchy.read(self.core_id, record.address, cycle)
+        self.stats.references_completed += 1
+        self.stats.busy_cycles += 1
+        self.stats.stall_cycles += max(0, latency - 1)
+        self._next_index += 1
+
+        if self._next_index >= len(self.trace):
+            self._finish(cycle + latency)
+            return
+
+        next_record = self.trace[self._next_index]
+        gap = next_record.gap_instructions
+        self.stats.busy_cycles += gap
+        issue_time = cycle + latency + gap
+        self._account_instructions(cycle + latency, gap)
+        self.events.schedule(issue_time, self._on_reference, payload=None)
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _account_instructions(self, cycle: int, count: int) -> None:
+        """Charge instruction-fetch energy and issue periodic real fetches."""
+        if count <= 0:
+            return
+        self.stats.instructions_executed += count
+        self.hierarchy.counters.add("l1i_reads", count)
+        self.hierarchy.counters.add("instructions", count)
+        self._instructions_since_ifetch += count
+        while self._instructions_since_ifetch >= self.ifetch_interval:
+            self._instructions_since_ifetch -= self.ifetch_interval
+            address = self.code_base_address + self._code_offset
+            self._code_offset = (
+                self._code_offset + self._line_bytes
+            ) % self.code_region_bytes
+            self.hierarchy.instruction_fetch(self.core_id, address, cycle)
+
+    def _finish(self, cycle: int) -> None:
+        self.stats.finish_cycle = cycle
+        if self._on_finish is not None:
+            self._on_finish(cycle, self)

@@ -1,0 +1,18 @@
+"""Energy modelling: technology tables, per-component accounting, system model."""
+
+from repro.energy.accounting import EnergyAccount, EnergyBreakdown
+from repro.energy.model import SystemEnergyModel
+from repro.energy.tables import (
+    CacheEnergyTable,
+    TechnologyTables,
+    default_tables,
+)
+
+__all__ = [
+    "CacheEnergyTable",
+    "EnergyAccount",
+    "EnergyBreakdown",
+    "SystemEnergyModel",
+    "TechnologyTables",
+    "default_tables",
+]

@@ -1,0 +1,133 @@
+"""System energy model.
+
+The simulator produces raw activity counters (accesses per level, refreshes,
+network hops, DRAM accesses, busy cycles per core) and an execution time in
+cycles.  :class:`SystemEnergyModel` converts those into an
+:class:`~repro.energy.accounting.EnergyAccount` using the technology tables,
+mirroring the paper's use of CACTI/McPAT numbers on top of SESC statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.parameters import ArchitectureConfig, CellTechnology
+from repro.energy.accounting import EnergyAccount
+from repro.energy.tables import (
+    NANOJOULE,
+    TechnologyTables,
+    default_tables,
+    instances_for_level,
+)
+from repro.utils.statistics import Counter
+
+#: Counter names the model understands, per cache level prefix.
+READ_SUFFIX = "_reads"
+WRITE_SUFFIX = "_writes"
+REFRESH_SUFFIX = "_refreshes"
+
+#: Cache levels carrying their own activity counters.
+CACHE_LEVELS = ("l1i", "l1d", "l2", "l3")
+
+
+@dataclass(frozen=True)
+class ActivitySummary:
+    """Raw activity of one run, as produced by the simulator.
+
+    Attributes:
+        counters: event counts; the model reads ``<level>_reads``,
+            ``<level>_writes`` and ``<level>_refreshes`` for each cache
+            level, plus ``dram_accesses``, ``network_router_hops`` and
+            ``network_link_hops``.
+        execution_cycles: end-to-end execution time in cycles.
+        busy_core_cycles: sum over cores of cycles spent executing (not
+            stalled on memory); used to split core energy between active and
+            idle power.
+    """
+
+    counters: Counter
+    execution_cycles: int
+    busy_core_cycles: int
+
+
+class SystemEnergyModel:
+    """Convert activity counters into energy, per the technology tables."""
+
+    def __init__(
+        self,
+        architecture: ArchitectureConfig,
+        technology: CellTechnology,
+        tables: TechnologyTables | None = None,
+    ) -> None:
+        self.architecture = architecture
+        self.technology = technology
+        self.tables = tables if tables is not None else default_tables(technology)
+
+    def account_for(self, activity: ActivitySummary) -> EnergyAccount:
+        """Build a full energy account for one run's activity."""
+        account = EnergyAccount()
+        seconds = self.architecture.seconds_from_cycles(activity.execution_cycles)
+        self._add_cache_energy(account, activity, seconds)
+        self._add_dram_energy(account, activity)
+        self._add_core_energy(account, activity, seconds)
+        self._add_network_energy(account, activity)
+        return account
+
+    # -- pieces -------------------------------------------------------------
+
+    def _add_cache_energy(
+        self, account: EnergyAccount, activity: ActivitySummary, seconds: float
+    ) -> None:
+        for level in CACHE_LEVELS:
+            table = self.tables.cache(level)
+            reads = activity.counters.get(level + READ_SUFFIX)
+            writes = activity.counters.get(level + WRITE_SUFFIX)
+            refreshes = activity.counters.get(level + REFRESH_SUFFIX)
+            dynamic = (
+                reads * table.read_energy_nj + writes * table.write_energy_nj
+            ) * NANOJOULE
+            refresh = refreshes * table.refresh_energy_nj * NANOJOULE
+            instances = instances_for_level(self.architecture, level)
+            leakage = table.leakage_power_w * instances * seconds
+            account.add_dynamic(level, dynamic)
+            account.add_leakage(level, leakage)
+            if self.technology is CellTechnology.EDRAM:
+                account.add_refresh(level, refresh)
+            elif refreshes:
+                raise ValueError("an SRAM hierarchy must not report refreshes")
+
+    def _add_dram_energy(
+        self, account: EnergyAccount, activity: ActivitySummary
+    ) -> None:
+        accesses = activity.counters.get("dram_accesses")
+        account.add_dram_access(
+            accesses * self.tables.dram_access_energy_nj * NANOJOULE
+        )
+
+    def _add_core_energy(
+        self, account: EnergyAccount, activity: ActivitySummary, seconds: float
+    ) -> None:
+        busy_seconds = self.architecture.seconds_from_cycles(
+            activity.busy_core_cycles
+        )
+        total_core_seconds = seconds * self.architecture.num_cores
+        idle_seconds = max(0.0, total_core_seconds - busy_seconds)
+        active = self.tables.core_active_power_w * busy_seconds
+        idle = self.tables.core_idle_power_w * idle_seconds
+        leakage = (
+            self.tables.core_leakage_power_w
+            * self.architecture.num_cores
+            * seconds
+        )
+        account.add_core(active + idle + leakage)
+
+    def _add_network_energy(
+        self, account: EnergyAccount, activity: ActivitySummary
+    ) -> None:
+        router_hops = activity.counters.get("network_router_hops")
+        link_hops = activity.counters.get("network_link_hops")
+        energy = (
+            router_hops * self.tables.router_hop_energy_nj
+            + link_hops * self.tables.link_hop_energy_nj
+        ) * NANOJOULE
+        account.add_network(energy)

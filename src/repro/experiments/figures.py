@@ -1,0 +1,255 @@
+"""Regeneration of the paper's evaluation figures (Figs. 6.1 - 6.4).
+
+Each figure function takes a :class:`~repro.core.sweep.SweepResult` and
+returns a :class:`FigureData`: one named series of values per stacked
+component (or a single series for the un-stacked figures), with one entry
+per (retention time, policy) combination on the X axis -- exactly the
+layout of the paper's plots.  :func:`render_figure` turns the data into an
+aligned text table (the textual equivalent of the stacked bar chart), and
+the benchmark harness prints the same rows the paper's figures report.
+
+All values are normalised to the full-SRAM baseline, per application, and
+then averaged over the requested application set (a class or the whole
+suite), matching Section 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.classes import APPLICATION_CLASSES
+from repro.core.results import SimulationResult
+from repro.core.sweep import PolicyPoint, SweepResult
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One stacked component of a figure: a name and one value per bar."""
+
+    name: str
+    values: Sequence[float]
+
+
+@dataclass
+class FigureData:
+    """A complete figure: bar labels plus one or more stacked series."""
+
+    title: str
+    bar_labels: List[str] = field(default_factory=list)
+    series: List[FigureSeries] = field(default_factory=list)
+
+    def totals(self) -> List[float]:
+        """Per-bar totals (the height of each stacked bar)."""
+        if not self.series:
+            return []
+        return [
+            sum(series.values[index] for series in self.series)
+            for index in range(len(self.bar_labels))
+        ]
+
+    def value(self, bar_label: str, series_name: str) -> float:
+        """Look up one component of one bar."""
+        bar_index = self.bar_labels.index(bar_label)
+        for series in self.series:
+            if series.name == series_name:
+                return series.values[bar_index]
+        raise KeyError(f"no series named {series_name!r}")
+
+
+def render_figure(figure: FigureData, precision: int = 3) -> str:
+    """Render a figure as an aligned text table (bars as rows)."""
+    headers = ["configuration"] + [series.name for series in figure.series] + ["total"]
+    rows: List[List[str]] = []
+    totals = figure.totals()
+    for index, label in enumerate(figure.bar_labels):
+        row = [label]
+        row.extend(
+            f"{series.values[index]:.{precision}f}" for series in figure.series
+        )
+        row.append(f"{totals[index]:.{precision}f}")
+        rows.append(row)
+    widths = [
+        max(len(headers[col]), *(len(row[col]) for row in rows)) if rows else len(headers[col])
+        for col in range(len(headers))
+    ]
+    lines = [figure.title, "=" * len(figure.title)]
+    lines.append("  ".join(headers[col].ljust(widths[col]) for col in range(len(headers))))
+    lines.append("  ".join("-" * widths[col] for col in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(row[col].ljust(widths[col]) for col in range(len(headers))))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Shared helpers
+# ---------------------------------------------------------------------------
+
+def _applications_for(
+    sweep: SweepResult, applications: Optional[Iterable[str]]
+) -> List[str]:
+    if applications is None:
+        return sweep.applications
+    requested = list(applications)
+    missing = [name for name in requested if name not in sweep.baselines]
+    if missing:
+        raise KeyError(f"applications not present in the sweep: {missing}")
+    return requested
+
+
+def _average(values: Dict[str, float]) -> float:
+    return sum(values.values()) / len(values)
+
+
+def _per_bar(
+    sweep: SweepResult,
+    applications: Optional[Iterable[str]],
+    metric: Callable[[SimulationResult, SimulationResult], float],
+) -> Dict[str, float]:
+    """Average a per-application metric for every sweep point (bar)."""
+    names = _applications_for(sweep, applications)
+    values: Dict[str, float] = {}
+    for point in sweep.points:
+        per_app = {
+            name: metric(sweep.result(name, point), sweep.baseline(name))
+            for name in names
+        }
+        values[point.label] = _average(per_app)
+    return values
+
+
+def class_label(applications: Optional[Iterable[str]]) -> str:
+    """Human label for an application selection (class1/class2/class3/all)."""
+    if applications is None:
+        return "all"
+    requested = tuple(sorted(applications))
+    for app_class, members in APPLICATION_CLASSES.items():
+        if requested == tuple(sorted(members)):
+            return f"class{app_class}"
+    return ", ".join(requested)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6.1 -- L1 / L2 / L3 / DRAM energy
+# ---------------------------------------------------------------------------
+
+def figure_6_1(
+    sweep: SweepResult, applications: Optional[Iterable[str]] = None
+) -> FigureData:
+    """Memory energy split by level, normalised to the SRAM memory energy."""
+    names = _applications_for(sweep, applications)
+    figure = FigureData(
+        title=(
+            "Figure 6.1: L1, L2, L3 & DRAM energy "
+            f"(normalised to full-SRAM memory energy) [{class_label(applications)}]"
+        )
+    )
+    levels = ("l1", "l2", "l3", "dram")
+    per_level: Dict[str, List[float]] = {level: [] for level in levels}
+    for point in sweep.points:
+        figure.bar_labels.append(point.label)
+        for level in levels:
+            values = []
+            for name in names:
+                breakdown = sweep.result(name, point).normalised_level_breakdown(
+                    sweep.baseline(name)
+                )
+                values.append(breakdown[level])
+            per_level[level].append(sum(values) / len(values))
+    figure.series = [
+        FigureSeries(name=level.upper(), values=tuple(per_level[level]))
+        for level in levels
+    ]
+    return figure
+
+
+# ---------------------------------------------------------------------------
+# Figure 6.2 -- dynamic / leakage / refresh / DRAM energy
+# ---------------------------------------------------------------------------
+
+def figure_6_2(
+    sweep: SweepResult, applications: Optional[Iterable[str]] = None
+) -> FigureData:
+    """Memory energy split by component, normalised to the SRAM baseline."""
+    names = _applications_for(sweep, applications)
+    figure = FigureData(
+        title=(
+            "Figure 6.2: on-chip dynamic, leakage, refresh & DRAM energy "
+            f"(normalised to full-SRAM memory energy) [{class_label(applications)}]"
+        )
+    )
+    components = ("dynamic", "leakage", "refresh", "dram")
+    per_component: Dict[str, List[float]] = {comp: [] for comp in components}
+    for point in sweep.points:
+        figure.bar_labels.append(point.label)
+        for component in components:
+            values = []
+            for name in names:
+                breakdown = sweep.result(name, point).normalised_component_breakdown(
+                    sweep.baseline(name)
+                )
+                values.append(breakdown[component])
+            per_component[component].append(sum(values) / len(values))
+    figure.series = [
+        FigureSeries(name=component.capitalize(), values=tuple(per_component[component]))
+        for component in components
+    ]
+    return figure
+
+
+# ---------------------------------------------------------------------------
+# Figure 6.3 -- total system energy
+# ---------------------------------------------------------------------------
+
+def figure_6_3(
+    sweep: SweepResult, applications: Optional[Iterable[str]] = None
+) -> FigureData:
+    """Total system energy (cores, caches, network, DRAM) vs the SRAM system."""
+    figure = FigureData(
+        title=(
+            "Figure 6.3: total energy "
+            f"(normalised to full-SRAM system energy) [{class_label(applications)}]"
+        )
+    )
+    values = _per_bar(
+        sweep,
+        applications,
+        lambda result, baseline: result.normalised_system_energy(baseline),
+    )
+    figure.bar_labels = [point.label for point in sweep.points]
+    figure.series = [
+        FigureSeries(
+            name="Energy",
+            values=tuple(values[point.label] for point in sweep.points),
+        )
+    ]
+    return figure
+
+
+# ---------------------------------------------------------------------------
+# Figure 6.4 -- execution time
+# ---------------------------------------------------------------------------
+
+def figure_6_4(
+    sweep: SweepResult, applications: Optional[Iterable[str]] = None
+) -> FigureData:
+    """Execution time normalised to the full-SRAM system."""
+    figure = FigureData(
+        title=(
+            "Figure 6.4: execution time "
+            f"(normalised to full-SRAM execution time) [{class_label(applications)}]"
+        )
+    )
+    values = _per_bar(
+        sweep,
+        applications,
+        lambda result, baseline: result.normalised_execution_time(baseline),
+    )
+    figure.bar_labels = [point.label for point in sweep.points]
+    figure.series = [
+        FigureSeries(
+            name="Time",
+            values=tuple(values[point.label] for point in sweep.points),
+        )
+    ]
+    return figure

@@ -1,0 +1,129 @@
+"""Markdown report generation for a completed sweep.
+
+:func:`sweep_report` turns a :class:`~repro.core.sweep.SweepResult` into a
+self-contained Markdown document: the headline comparison, every figure of
+Chapter 6 rendered as a table (for the whole suite and per class), and the
+per-application raw metrics.  The CLI (:mod:`repro.cli`) writes this report
+to disk so a sweep can be archived and diffed between runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.core.classes import APPLICATION_CLASSES
+from repro.core.sweep import SweepResult
+from repro.experiments.figures import (
+    FigureData,
+    figure_6_1,
+    figure_6_2,
+    figure_6_3,
+    figure_6_4,
+)
+from repro.experiments.runner import headline_summary
+
+
+def _figure_as_markdown(figure: FigureData, precision: int = 3) -> str:
+    """Render a figure as a Markdown table."""
+    headers = ["configuration"] + [series.name for series in figure.series] + ["total"]
+    lines = [f"### {figure.title}", ""]
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    totals = figure.totals()
+    for index, label in enumerate(figure.bar_labels):
+        cells = [label]
+        cells.extend(
+            f"{series.values[index]:.{precision}f}" for series in figure.series
+        )
+        cells.append(f"{totals[index]:.{precision}f}")
+        lines.append("| " + " | ".join(cells) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _headline_section(sweep: SweepResult) -> str:
+    """The abstract-style headline comparison, when the sweep contains it."""
+    retentions = sweep.retention_times()
+    if not retentions:
+        return ""
+    try:
+        summary = headline_summary(sweep, retention_us=retentions[0])
+    except ValueError:
+        return ""
+    lines = [
+        f"## Headline comparison at {retentions[0]:g} us",
+        "",
+        "| configuration | memory energy | system energy | execution time |",
+        "|---|---|---|---|",
+        (
+            "| eDRAM Periodic-All (naive) | "
+            f"{summary['periodic_all_memory']:.3f} | "
+            f"{summary['periodic_all_system']:.3f} | "
+            f"{summary['periodic_all_time']:.3f} |"
+        ),
+        (
+            "| eDRAM Refrint WB(32,32) | "
+            f"{summary['refrint_wb32_memory']:.3f} | "
+            f"{summary['refrint_wb32_system']:.3f} | "
+            f"{summary['refrint_wb32_time']:.3f} |"
+        ),
+        "",
+        "(paper: 0.50 / 0.72 / 1.18 for Periodic-All and 0.36 / 0.61 / 1.02 "
+        "for Refrint WB(32,32) at 50 us)",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def _class_selections(sweep: SweepResult) -> List[Optional[Iterable[str]]]:
+    """The application selections to report: all, then each populated class."""
+    selections: List[Optional[Iterable[str]]] = [None]
+    for app_class in sorted(APPLICATION_CLASSES):
+        members = [
+            name for name in APPLICATION_CLASSES[app_class] if name in sweep.baselines
+        ]
+        if members:
+            selections.append(members)
+    return selections
+
+
+def _per_application_section(sweep: SweepResult) -> str:
+    """Raw per-application metrics for every sweep point."""
+    lines = ["## Per-application metrics", ""]
+    header = "| application | configuration | memory vs SRAM | system vs SRAM | time vs SRAM |"
+    lines.append(header)
+    lines.append("|---|---|---|---|---|")
+    for name in sweep.applications:
+        baseline = sweep.baseline(name)
+        for point in sweep.points:
+            result = sweep.result(name, point)
+            lines.append(
+                f"| {name} | {point.label} | "
+                f"{result.normalised_memory_energy(baseline):.3f} | "
+                f"{result.normalised_system_energy(baseline):.3f} | "
+                f"{result.normalised_execution_time(baseline):.3f} |"
+            )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def sweep_report(sweep: SweepResult, title: str = "Refrint sweep report") -> str:
+    """Produce a complete Markdown report for one sweep."""
+    sections = [f"# {title}", ""]
+    applications = ", ".join(sweep.applications)
+    points = len(sweep.points)
+    sections.append(
+        f"Applications: {applications}  \n"
+        f"Sweep points per application: {points} (plus the full-SRAM baseline)"
+    )
+    sections.append("")
+    headline = _headline_section(sweep)
+    if headline:
+        sections.append(headline)
+    for selection in _class_selections(sweep):
+        sections.append(_figure_as_markdown(figure_6_1(sweep, selection)))
+        sections.append(_figure_as_markdown(figure_6_2(sweep, selection)))
+        sections.append(_figure_as_markdown(figure_6_3(sweep, selection)))
+        sections.append(_figure_as_markdown(figure_6_4(sweep, selection)))
+    sections.append(_per_application_section(sweep))
+    return "\n".join(sections)

@@ -1,0 +1,6 @@
+"""Three-level inclusive cache hierarchy of the 16-core CMP."""
+
+from repro.hierarchy.hierarchy import CacheHierarchy
+from repro.hierarchy.levels import CoreCaches, L3Bank
+
+__all__ = ["CacheHierarchy", "CoreCaches", "L3Bank"]

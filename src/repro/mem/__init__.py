@@ -1,0 +1,16 @@
+"""Memory structures: cache lines, set-associative caches and DRAM."""
+
+from repro.mem.cache import Cache, EvictionResult, LookupResult
+from repro.mem.dram import MainMemory
+from repro.mem.line import CacheLine, DirectoryLine, L3State, MESIState
+
+__all__ = [
+    "Cache",
+    "CacheLine",
+    "DirectoryLine",
+    "EvictionResult",
+    "L3State",
+    "LookupResult",
+    "MESIState",
+    "MainMemory",
+]

@@ -1,0 +1,258 @@
+"""Set-associative cache array with LRU replacement.
+
+The :class:`Cache` is a pure storage structure: it finds, fills, touches and
+evicts lines, and it exposes its lines to the refresh controllers (which walk
+refresh groups, or act on individual lines when their Sentry bit fires).  All
+protocol behaviour -- what to do on a miss, coherence actions, write-backs --
+lives in :mod:`repro.hierarchy` and :mod:`repro.coherence` so that the same
+array is reused by every level.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.config.parameters import CacheGeometry
+from repro.mem.line import CacheLine, MESIState
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of a lookup: the line (if present) and its location."""
+
+    hit: bool
+    line: Optional[CacheLine]
+    set_idx: int
+    way: Optional[int]
+
+
+@dataclass(frozen=True)
+class EvictionResult:
+    """A victim chosen for replacement.
+
+    Attributes:
+        line: the victim line object (still holding the victim's tag/state;
+            the caller handles write-back / directory clean-up, then fills).
+        block_address: byte block address reconstructed from the victim tag.
+        was_valid: True when a real block was displaced.
+        was_dirty: True when the displaced block held dirty data.
+    """
+
+    line: CacheLine
+    block_address: int
+    was_valid: bool
+    was_dirty: bool
+
+
+class Cache:
+    """One physical cache instance (a private cache or a single L3 bank).
+
+    For a banked cache (the shared L3), consecutive blocks are interleaved
+    across banks, so the bank-selection bits must be stripped from the block
+    number before indexing the sets -- otherwise a bank would only ever use
+    the handful of sets its own residue class maps to.  ``index_interleave``
+    is the number of banks and ``index_offset`` this bank's residue; private
+    caches leave both at their defaults.
+    """
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        line_factory: Callable[[], CacheLine] = CacheLine,
+        name: Optional[str] = None,
+        index_interleave: int = 1,
+        index_offset: int = 0,
+    ) -> None:
+        if index_interleave < 1:
+            raise ValueError("index_interleave must be >= 1")
+        if not 0 <= index_offset < index_interleave:
+            raise ValueError("index_offset must lie in [0, index_interleave)")
+        self.geometry = geometry
+        self.name = name if name is not None else geometry.name
+        self.index_interleave = index_interleave
+        self.index_offset = index_offset
+        self._lru_counter = itertools.count(1)
+        self._sets: List[List[CacheLine]] = [
+            [line_factory() for _ in range(geometry.associativity)]
+            for _ in range(geometry.num_sets)
+        ]
+        # Refresh blocking state.  ``busy_until`` blocks the whole array
+        # (used for the short Refrint interrupt bursts); ``group_busy_until``
+        # blocks a single refresh group / sub-array (used by the periodic
+        # policy, which refreshes one sub-array at a time while the others
+        # remain accessible).  Plain accesses arriving earlier are delayed.
+        self.busy_until: int = 0
+        self.group_busy_until: List[int] = [0] * geometry.num_refresh_groups
+        self._sets_per_group = max(1, geometry.num_sets // geometry.num_refresh_groups)
+
+    # -- basic queries -------------------------------------------------------
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in this cache."""
+        return self.geometry.num_sets
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of lines in this cache."""
+        return self.geometry.num_lines
+
+    def set_and_tag(self, block_address: int) -> Tuple[int, int]:
+        """Return (set index, tag) for a block address."""
+        block_number = block_address // self.geometry.line_bytes
+        local_number = block_number // self.index_interleave
+        return local_number % self.num_sets, local_number // self.num_sets
+
+    def refresh_group_of_set(self, set_idx: int) -> int:
+        """The refresh group (sub-array) a set belongs to."""
+        return min(
+            set_idx // self._sets_per_group, self.geometry.num_refresh_groups - 1
+        )
+
+    def wait_cycles(self, block_address: int, cycle: int) -> int:
+        """Cycles an access arriving at ``cycle`` must wait for refresh work.
+
+        The access waits for whichever is later: a whole-array block (Refrint
+        interrupt burst in progress) or a block on the sub-array its set maps
+        to (periodic group pass in progress).
+        """
+        set_idx, _ = self.set_and_tag(block_address)
+        group = self.refresh_group_of_set(set_idx)
+        busy = max(self.busy_until, self.group_busy_until[group])
+        return max(0, busy - cycle)
+
+    def block_group(self, group: int, until: int) -> None:
+        """Mark one refresh group as busy until the given cycle."""
+        if not 0 <= group < self.geometry.num_refresh_groups:
+            raise ValueError(f"no refresh group {group}")
+        self.group_busy_until[group] = max(self.group_busy_until[group], until)
+
+    def block_address_of(self, set_idx: int, line: CacheLine) -> int:
+        """Reconstruct the byte block address stored in ``line``."""
+        if line.tag is None:
+            raise ValueError("line has never been filled")
+        local_number = line.tag * self.num_sets + set_idx
+        block_number = local_number * self.index_interleave + self.index_offset
+        return block_number * self.geometry.line_bytes
+
+    def lookup(self, block_address: int) -> LookupResult:
+        """Find a block without modifying replacement or refresh state."""
+        set_idx, tag = self.set_and_tag(block_address)
+        for way, line in enumerate(self._sets[set_idx]):
+            if line.valid and line.tag == tag:
+                return LookupResult(hit=True, line=line, set_idx=set_idx, way=way)
+        return LookupResult(hit=False, line=None, set_idx=set_idx, way=None)
+
+    def probe(self, block_address: int) -> Optional[CacheLine]:
+        """Return the line holding ``block_address`` if present, else None."""
+        result = self.lookup(block_address)
+        return result.line if result.hit else None
+
+    def access(self, block_address: int, cycle: int) -> LookupResult:
+        """Look up a block and, on a hit, update LRU and refresh the cells."""
+        result = self.lookup(block_address)
+        if result.hit:
+            assert result.line is not None
+            result.line.touch(cycle)
+            result.line.lru_stamp = next(self._lru_counter)
+        return result
+
+    # -- fills and evictions --------------------------------------------------
+
+    def choose_victim(self, block_address: int) -> EvictionResult:
+        """Pick the LRU victim in the block's set (preferring invalid ways)."""
+        set_idx, _ = self.set_and_tag(block_address)
+        ways = self._sets[set_idx]
+        victim = None
+        for line in ways:
+            if not line.valid:
+                victim = line
+                break
+        if victim is None:
+            victim = min(ways, key=lambda line: line.lru_stamp)
+        was_valid = victim.valid
+        was_dirty = victim.dirty
+        block = self.block_address_of(set_idx, victim) if victim.tag is not None else 0
+        return EvictionResult(
+            line=victim,
+            block_address=block,
+            was_valid=was_valid,
+            was_dirty=was_dirty,
+        )
+
+    def fill(
+        self,
+        block_address: int,
+        state: MESIState,
+        cycle: int,
+        victim: Optional[EvictionResult] = None,
+    ) -> CacheLine:
+        """Install a block (using ``victim`` if provided, else choosing one).
+
+        The caller is responsible for having handled the victim's write-back
+        and coherence clean-up *before* calling fill.
+        """
+        if victim is None:
+            victim = self.choose_victim(block_address)
+        _, tag = self.set_and_tag(block_address)
+        line = victim.line
+        line.fill(tag, state, cycle)
+        line.lru_stamp = next(self._lru_counter)
+        return line
+
+    def invalidate(self, block_address: int) -> Optional[CacheLine]:
+        """Invalidate the line holding ``block_address`` if present."""
+        result = self.lookup(block_address)
+        if result.hit:
+            assert result.line is not None
+            result.line.invalidate()
+            return result.line
+        return None
+
+    # -- iteration for the refresh machinery ----------------------------------
+
+    def iter_lines(self) -> Iterator[Tuple[int, CacheLine]]:
+        """Yield (set index, line) for every line in the cache."""
+        for set_idx, ways in enumerate(self._sets):
+            for line in ways:
+                yield set_idx, line
+
+    def lines_in_refresh_group(self, group: int) -> Sequence[Tuple[int, CacheLine]]:
+        """Lines belonging to periodic-refresh group ``group``.
+
+        Groups partition the cache by consecutive sets, mimicking the
+        per-sub-array grouping the paper takes from CACTI.
+        """
+        num_groups = self.geometry.num_refresh_groups
+        if not 0 <= group < num_groups:
+            raise ValueError(f"group {group} out of range 0..{num_groups - 1}")
+        sets_per_group = max(1, self.num_sets // num_groups)
+        start = group * sets_per_group
+        end = self.num_sets if group == num_groups - 1 else start + sets_per_group
+        lines: List[Tuple[int, CacheLine]] = []
+        for set_idx in range(start, min(end, self.num_sets)):
+            for line in self._sets[set_idx]:
+                lines.append((set_idx, line))
+        return lines
+
+    def valid_lines(self) -> Iterator[Tuple[int, CacheLine]]:
+        """Yield (set index, line) for every valid line."""
+        for set_idx, line in self.iter_lines():
+            if line.valid:
+                yield set_idx, line
+
+    def count_valid(self) -> int:
+        """Number of valid lines currently held."""
+        return sum(1 for _ in self.valid_lines())
+
+    def count_dirty(self) -> int:
+        """Number of dirty lines currently held."""
+        return sum(1 for _, line in self.iter_lines() if line.dirty)
+
+    def __repr__(self) -> str:
+        return (
+            f"Cache(name={self.name!r}, sets={self.num_sets}, "
+            f"ways={self.geometry.associativity}, valid={self.count_valid()})"
+        )

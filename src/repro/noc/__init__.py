@@ -1,0 +1,6 @@
+"""On-chip network: 4x4 torus topology and message cost model."""
+
+from repro.noc.network import NetworkMessage, TorusNetwork
+from repro.noc.topology import TorusTopology
+
+__all__ = ["NetworkMessage", "TorusNetwork", "TorusTopology"]

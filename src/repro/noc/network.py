@@ -1,0 +1,89 @@
+"""Network cost model on top of the torus topology.
+
+The evaluation needs two things from the network: the latency a request pays
+to cross the chip (added to the miss penalty) and the energy spent moving
+messages (part of the Fig. 6.3 total-system energy).  Contention is not
+modelled -- the paper's network is lightly loaded and its results do not
+hinge on queuing delay -- so a message's latency is simply
+``hops * (router_delay + link_delay)`` and its energy is
+``hops * (router_energy + link_energy)`` scaled by the message size in flits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.noc.topology import TorusTopology
+from repro.utils.statistics import Counter
+
+#: Size in bytes of a message that carries no data (request, ack, invalidate).
+CONTROL_MESSAGE_BYTES = 8
+
+#: Flit width in bytes used to convert message size into hop energy units.
+FLIT_BYTES = 8
+
+
+@dataclass(frozen=True)
+class NetworkMessage:
+    """A single traversal of the network.
+
+    Attributes:
+        src: source vertex (core or L3 bank id).
+        dst: destination vertex.
+        payload_bytes: data carried in addition to the control header
+            (a full cache line for data messages, 0 for control messages).
+    """
+
+    src: int
+    dst: int
+    payload_bytes: int = 0
+
+    @property
+    def flits(self) -> int:
+        """Number of flits occupied by this message."""
+        total_bytes = CONTROL_MESSAGE_BYTES + self.payload_bytes
+        return max(1, -(-total_bytes // FLIT_BYTES))
+
+
+class TorusNetwork:
+    """Latency / energy / message-count model of the on-chip torus."""
+
+    def __init__(
+        self,
+        topology: TorusTopology,
+        router_hop_cycles: int = 1,
+        link_hop_cycles: int = 1,
+        counters: Optional[Counter] = None,
+    ) -> None:
+        self.topology = topology
+        self.router_hop_cycles = router_hop_cycles
+        self.link_hop_cycles = link_hop_cycles
+        self.counters = counters if counters is not None else Counter()
+
+    def latency(self, src: int, dst: int) -> int:
+        """Cycles for a message from ``src`` to ``dst`` (0 if same vertex)."""
+        hops = self.topology.hop_distance(src, dst)
+        return hops * (self.router_hop_cycles + self.link_hop_cycles)
+
+    def send(self, message: NetworkMessage) -> int:
+        """Account for one message and return its latency in cycles.
+
+        Updates the ``network_messages``, ``network_router_hops`` and
+        ``network_link_hops`` counters; hop counters are weighted by the
+        message's flit count so larger (data-carrying) messages cost
+        proportionally more energy.
+        """
+        hops = self.topology.hop_distance(message.src, message.dst)
+        self.counters.add("network_messages")
+        self.counters.add("network_router_hops", hops * message.flits)
+        self.counters.add("network_link_hops", hops * message.flits)
+        return hops * (self.router_hop_cycles + self.link_hop_cycles)
+
+    def send_control(self, src: int, dst: int) -> int:
+        """Send a data-less (request/ack/invalidate) message."""
+        return self.send(NetworkMessage(src=src, dst=dst, payload_bytes=0))
+
+    def send_data(self, src: int, dst: int, line_bytes: int) -> int:
+        """Send a message carrying one cache line of data."""
+        return self.send(NetworkMessage(src=src, dst=dst, payload_bytes=line_bytes))

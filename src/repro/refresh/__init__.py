@@ -1,0 +1,25 @@
+"""The Refrint refresh architecture: policies, Sentry bits, controllers."""
+
+from repro.refresh.controller import RefreshController, build_refresh_controllers
+from repro.refresh.periodic import PeriodicRefreshController
+from repro.refresh.policies import (
+    DataPolicy,
+    PolicyAction,
+    PolicyDecision,
+    make_data_policy,
+)
+from repro.refresh.refrint import RefrintRefreshController
+from repro.refresh.sentry import SentryBit, SentryGroup
+
+__all__ = [
+    "DataPolicy",
+    "PeriodicRefreshController",
+    "PolicyAction",
+    "PolicyDecision",
+    "RefreshController",
+    "RefrintRefreshController",
+    "SentryBit",
+    "SentryGroup",
+    "build_refresh_controllers",
+    "make_data_policy",
+]

@@ -1,0 +1,202 @@
+"""Refresh controller base class and construction helpers.
+
+A refresh controller is attached to one physical cache array (one private
+cache or one L3 bank).  It owns the *timing* side of refresh -- when lines
+are considered for refresh -- and delegates the *data* side to a
+:class:`~repro.refresh.policies.DataPolicy`.  Its actions go through the
+hierarchy's policy entry points so that write-backs, inclusion
+back-invalidations and DRAM traffic are accounted exactly like those caused
+by normal execution.
+
+Two concrete controllers exist:
+
+* :class:`~repro.refresh.periodic.PeriodicRefreshController` -- the naive
+  baseline: every refresh group is walked once per retention period,
+  staggered across the period, blocking the array while it is walked;
+* :class:`~repro.refresh.refrint.RefrintRefreshController` -- the paper's
+  proposal: per-line Sentry bits interrupt the controller just before a line
+  decays, so lines are refreshed only when they truly need it.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import List, Optional
+
+from repro.config.parameters import RefreshConfig, SimulationConfig, TimingPolicyKind
+from repro.hierarchy.hierarchy import CacheHierarchy
+from repro.mem.cache import Cache
+from repro.mem.line import CacheLine
+from repro.refresh.policies import DataPolicy, PolicyAction, make_data_policy
+from repro.utils.events import EventQueue
+from repro.utils.statistics import Counter
+
+
+class RefreshController(abc.ABC):
+    """Common machinery for the periodic and Refrint controllers."""
+
+    def __init__(
+        self,
+        level: str,
+        instance: int,
+        cache: Cache,
+        policy: DataPolicy,
+        refresh_config: RefreshConfig,
+        hierarchy: CacheHierarchy,
+        event_queue: EventQueue,
+        counters: Optional[Counter] = None,
+    ) -> None:
+        self.level = level
+        self.instance = instance
+        self.cache = cache
+        self.policy = policy
+        self.config = refresh_config
+        self.hierarchy = hierarchy
+        self.events = event_queue
+        self.counters = counters if counters is not None else hierarchy.counters
+        # Counter keys are built once; the refresh path is hot (hundreds of
+        # thousands of calls per simulation).
+        self._refresh_counter = f"{level}_refreshes"
+        self._writeback_counter = f"{level}_policy_writebacks_total"
+        self._invalidate_counter = f"{level}_policy_invalidations_total"
+
+    # -- lifecycle ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def start(self, cycle: int) -> None:
+        """Schedule this controller's first event(s) at or after ``cycle``."""
+
+    # -- shared action machinery ---------------------------------------------
+
+    def apply_policy(self, set_idx: int, line: CacheLine, cycle: int) -> PolicyAction:
+        """Ask the data policy about one line and carry out its verdict.
+
+        Returns the action taken, so the timing controllers can decide how
+        many controller cycles the pass consumed and whether the line still
+        needs a future refresh event.
+        """
+        decision = self.policy.decide(line)
+        action = decision.action
+        if action is PolicyAction.REFRESH:
+            self._refresh_line(line, cycle)
+        elif action is PolicyAction.WRITEBACK:
+            self.hierarchy.policy_writeback(
+                self.level, self.instance, set_idx, line, cycle
+            )
+            self.counters.add(self._writeback_counter)
+        elif action is PolicyAction.INVALIDATE:
+            self.hierarchy.policy_invalidate(
+                self.level, self.instance, set_idx, line, cycle
+            )
+            self.counters.add(self._invalidate_counter)
+        else:
+            # SKIP: nothing holds useful data here.  Advance the refresh
+            # timestamp anyway so lazy sentry timers do not keep finding the
+            # same (invalid) line "due" on every pass.
+            line.last_refresh_cycle = cycle
+        if decision.new_count is not None:
+            line.refresh_count = decision.new_count
+        return action
+
+    def _refresh_line(self, line: CacheLine, cycle: int) -> None:
+        """Recharge one line's cells, with a decay sanity check."""
+        if line.valid and line.is_expired(cycle, self.config.retention_cycles):
+            # The controller failed to reach this line before its retention
+            # ran out; count it so tests can assert this never happens.
+            self.counters.add("decay_violations")
+        line.refresh(cycle)
+        self.counters.add(self._refresh_counter)
+
+    def block_array(self, cycle: int, lines_processed: int) -> None:
+        """Block the array while ``lines_processed`` lines are handled.
+
+        Refresh work has priority over plain read/write requests
+        (Section 4.2), so demand accesses arriving while the pass runs wait
+        until it finishes; the protocol charges that wait as stall cycles.
+        """
+        if lines_processed <= 0:
+            return
+        busy_for = lines_processed * self.config.refresh_cycles_per_line
+        self.cache.busy_until = max(self.cache.busy_until, cycle + busy_for)
+
+
+def level_refresh_config(
+    config: SimulationConfig, level: str, cache: Cache
+) -> RefreshConfig:
+    """The refresh configuration seen by one cache level's controller.
+
+    On the paper-sized geometry every level simply uses the configured
+    retention period.  On a *scaled* geometry the levels are shrunk by
+    different factors (the L3 and the retention period share one factor; the
+    L1/L2 are shrunk less so realistic hit rates remain possible), which
+    would otherwise over-refresh the L1/L2: their refresh rate in
+    lines-per-cycle would exceed the full-size system's.  To keep every
+    level's refresh power faithful, the retention period of a level is
+    stretched by the ratio of its scale factor to the L3's, i.e.::
+
+        retention(level) = retention_config
+                           * (paper_lines(level) / actual_lines(level))
+                           / (paper_lines(l3)    / actual_lines(l3))
+
+    which is exactly 1x for the unscaled geometry.  The Sentry margin is
+    re-derived from the level's own line count, as in Section 4.1.
+    """
+    assert config.refresh is not None
+    refresh = config.refresh
+    if level == "l3":
+        return refresh
+    from repro.config.presets import paper_architecture
+
+    paper = paper_architecture()
+    paper_lines = {
+        "l1i": paper.l1i.num_lines,
+        "l1d": paper.l1d.num_lines,
+        "l2": paper.l2.num_lines,
+    }[level]
+    paper_l3_lines = paper.l3_bank.num_lines
+    actual_l3_lines = config.architecture.l3_bank.num_lines
+    level_scale = paper_lines / cache.num_lines
+    l3_scale = paper_l3_lines / actual_l3_lines
+    multiplier = max(1.0, l3_scale / level_scale)
+    retention = max(2, int(round(refresh.retention_cycles * multiplier)))
+    margin = min(cache.num_lines, retention - 1)
+    return dataclasses.replace(
+        refresh, retention_cycles=retention, sentry_margin_cycles=margin
+    )
+
+
+def build_refresh_controllers(
+    hierarchy: CacheHierarchy,
+    config: SimulationConfig,
+    event_queue: EventQueue,
+) -> List[RefreshController]:
+    """Create one refresh controller per cache array for an eDRAM config.
+
+    Returns an empty list for the SRAM baseline (nothing to refresh).  Each
+    level uses the data policy the configuration assigns to it; following
+    the paper, L1 and L2 default to Valid while the configured intelligent
+    policy is applied at the L3.
+    """
+    if not config.is_edram:
+        return []
+    assert config.refresh is not None
+    from repro.refresh.periodic import PeriodicRefreshController
+    from repro.refresh.refrint import RefrintRefreshController
+
+    refresh = config.refresh
+    controllers: List[RefreshController] = []
+    for level, instance, cache in hierarchy.all_caches():
+        policy_level = "l1" if level in ("l1i", "l1d") else level
+        policy = make_data_policy(refresh.data_policy_for_level(policy_level))
+        level_config = level_refresh_config(config, level, cache)
+        if refresh.timing_policy is TimingPolicyKind.PERIODIC:
+            controller: RefreshController = PeriodicRefreshController(
+                level, instance, cache, policy, level_config, hierarchy, event_queue
+            )
+        else:
+            controller = RefrintRefreshController(
+                level, instance, cache, policy, level_config, hierarchy, event_queue
+            )
+        controllers.append(controller)
+    return controllers

@@ -1,0 +1,65 @@
+"""Periodic (baseline) refresh controller.
+
+The trivial eDRAM refresh scheme: a global counter walks the cache once per
+retention period, refreshing a group of lines at a time (one group per CACTI
+sub-array).  To avoid bunching the work, the groups' passes are staggered
+across the retention period (Section 3.2).  The scheme needs no Sentry bits,
+but it is eager -- a line is refreshed on schedule even if it was accessed
+(and therefore recharged) a cycle earlier -- and it blocks the array while a
+group is walked, which is where the paper's 18 % slowdown for Periodic-All
+comes from.
+
+The data policy still decides what happens to each line in the group:
+Periodic-All refreshes everything (the naive baseline configuration),
+Periodic-Valid skips invalid lines, and Periodic-Dirty / Periodic-WB(n, m)
+invalidate or write back lines exactly as they do under Refrint timing.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.refresh.controller import RefreshController
+from repro.refresh.policies import PolicyAction
+
+
+class PeriodicRefreshController(RefreshController):
+    """Walks one refresh group per event, once per retention period."""
+
+    def start(self, cycle: int) -> None:
+        """Stagger the groups' first passes across one retention period."""
+        num_groups = self.cache.geometry.num_refresh_groups
+        stride = max(1, self.config.retention_cycles // num_groups)
+        for group in range(num_groups):
+            self.events.schedule(
+                cycle + group * stride, self._on_group_event, payload=group
+            )
+
+    # -- event handling --------------------------------------------------------
+
+    def _on_group_event(self, cycle: int, payload: Any) -> None:
+        group: int = payload
+        processed = self._walk_group(group, cycle)
+        # The pass keeps the sub-array (refresh group) busy for one cycle per
+        # line handled; the other sub-arrays of the cache stay accessible.
+        if processed:
+            busy_for = processed * self.config.refresh_cycles_per_line
+            self.cache.block_group(group, cycle + busy_for)
+        self.counters.add(f"{self.level}_periodic_passes")
+        self.events.schedule(
+            cycle + self.config.retention_cycles, self._on_group_event, payload=group
+        )
+
+    def _walk_group(self, group: int, cycle: int) -> int:
+        """Apply the data policy to every line in the group.
+
+        Returns the number of lines the controller actually had to process
+        (refresh, write back or invalidate); skipped lines cost no array
+        time because nothing is read or written.
+        """
+        processed = 0
+        for set_idx, line in self.cache.lines_in_refresh_group(group):
+            action = self.apply_policy(set_idx, line, cycle)
+            if action is not PolicyAction.SKIP:
+                processed += 1
+        return processed

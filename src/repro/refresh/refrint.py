@@ -1,0 +1,102 @@
+"""Refrint (Sentry-bit, interrupt-driven) refresh controller.
+
+Each cache line carries a Sentry bit that decays ``sentry_margin`` cycles
+before the line itself; its decay raises an interrupt through a priority
+encoder, and the cache controller then refreshes, writes back or
+invalidates the line according to the data policy (Sections 3.1, 4.1, 4.2).
+Because a line is only touched when its Sentry bit says it is about to
+decay, Refrint performs the minimum number of refreshes needed to keep a
+line alive, and the work is naturally spread out in time instead of
+arriving in bulk passes.
+
+Sentry bits are grouped onto shared interrupt lines (group size 1 for the
+L1s, 4 for the L2 and 16 for the L3 in the paper's configuration); when a
+group's interrupt fires the controller processes the group's due lines one
+per cycle, with interrupt requests taking priority over plain reads and
+writes.
+
+Simulation strategy: one *lazy* event per sentry group.  The event is always
+scheduled no later than ``now + sentry retention``; when it fires, lines
+whose Sentry bit has actually decayed are processed and the event is
+rescheduled for the group's next earliest decay.  A line that was accessed
+(and therefore recharged) after the event was scheduled is simply not due
+yet and is picked up by a later event, so no per-access event cancellation
+is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.mem.line import CacheLine
+from repro.refresh.controller import RefreshController
+from repro.refresh.policies import AllPolicy, PolicyAction
+from repro.refresh.sentry import SentryBit, SentryGroup, build_sentry_groups
+
+
+class RefrintRefreshController(RefreshController):
+    """Sentry-bit-driven refresh of one cache array."""
+
+    def start(self, cycle: int) -> None:
+        """Build the sentry groups and arm one lazy event per group."""
+        self._interrupt_counter = f"{self.level}_sentry_interrupts"
+        self.sentry = SentryBit(
+            retention_cycles=self.config.retention_cycles,
+            margin_cycles=self.config.sentry_margin_cycles,
+        )
+        lines: List[Tuple[int, CacheLine]] = list(self.cache.iter_lines())
+        self.groups = build_sentry_groups(
+            lines, self.cache.geometry.sentry_group_size, self.sentry
+        )
+        # An empty cache has nothing due before one full sentry retention.
+        for group in self.groups:
+            self.events.schedule(
+                cycle + self.sentry.sentry_retention_cycles,
+                self._on_group_interrupt,
+                payload=group,
+            )
+
+    # -- event handling --------------------------------------------------------
+
+    def _on_group_interrupt(self, cycle: int, payload: Any) -> None:
+        group: SentryGroup = payload
+        include_invalid = self._refreshes_invalid_lines()
+        # The controller walks the group's lines (one per cycle through the
+        # priority encoder), but only lines whose Sentry bit has actually
+        # decayed need action -- a line accessed since the event was armed
+        # had its Sentry bit recharged and is simply not due yet.  This is
+        # what makes Refrint cheaper than the eager periodic walk.
+        processed = 0
+        for set_idx, line in group.members:
+            if not line.valid and not include_invalid:
+                continue
+            if not self.sentry.has_fired(line, cycle):
+                continue
+            action = self.apply_policy(set_idx, line, cycle)
+            if action is not PolicyAction.SKIP:
+                processed += 1
+        if processed:
+            self.block_array(cycle, processed)
+            self.counters.add(self._interrupt_counter)
+        self._reschedule(group, cycle, include_invalid)
+
+    def _reschedule(
+        self, group: SentryGroup, cycle: int, include_invalid: bool
+    ) -> None:
+        """Arm the group's next event: its earliest future decay, capped at
+        one sentry retention from now (so newly filled lines are never
+        missed)."""
+        horizon = cycle + self.sentry.sentry_retention_cycles
+        earliest = horizon
+        for _, line in group.members:
+            if not line.valid and not include_invalid:
+                continue
+            fire = self.sentry.fire_time(line)
+            if fire < earliest:
+                earliest = fire
+        next_time = max(cycle + 1, min(earliest, horizon))
+        self.events.schedule(next_time, self._on_group_interrupt, payload=group)
+
+    def _refreshes_invalid_lines(self) -> bool:
+        """True when the data policy acts on invalid lines too (All only)."""
+        return isinstance(self.policy, AllPolicy)

@@ -1,0 +1,130 @@
+"""Sentry bit model.
+
+The Refrint timing policy associates one Sentry bit with each cache line
+(Section 3.1 / 4.1).  The Sentry bit is a deliberately weaker 1T-1C cell
+that decays ``sentry_margin`` cycles before the rest of the line, acting as
+a canary: its decay interrupts the cache controller, which then refreshes or
+drops the line.  Every normal access recharges both the line and its Sentry
+bit.
+
+To keep the interrupt wiring tractable the hardware groups several Sentry
+bits into one interrupt line (Section 5: group size 1 for L1, 4 for L2 and
+16 for L3); when the group's interrupt fires, the controller walks the
+group's lines in a pipelined fashion, one line per cycle.
+
+In the simulator a Sentry bit is not a separate timer object per line --
+that would mean cancelling and rescheduling a heap event on every cache
+access.  Instead :class:`SentryBit` captures the *rule* (when would this
+line's sentry fire, given its last refresh?) and the Refrint controller uses
+lazy timers: an event that fires early simply reschedules itself to the
+correct time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.mem.line import CacheLine
+
+
+@dataclass(frozen=True)
+class SentryBit:
+    """Decay rule of the Sentry bit attached to a cache line.
+
+    Attributes:
+        retention_cycles: retention period of the *line's* eDRAM cells.
+        margin_cycles: how much earlier the Sentry bit decays.
+    """
+
+    retention_cycles: int
+    margin_cycles: int
+
+    def __post_init__(self) -> None:
+        if self.retention_cycles <= 0:
+            raise ValueError("retention must be positive")
+        if not 0 <= self.margin_cycles < self.retention_cycles:
+            raise ValueError("margin must be in [0, retention)")
+
+    @property
+    def sentry_retention_cycles(self) -> int:
+        """Cycles after a refresh at which the Sentry bit decays."""
+        return self.retention_cycles - self.margin_cycles
+
+    def fire_time(self, line: CacheLine) -> int:
+        """Cycle at which this line's Sentry bit will decay next."""
+        return line.last_refresh_cycle + self.sentry_retention_cycles
+
+    def line_expiry_time(self, line: CacheLine) -> int:
+        """Cycle at which the line's data itself would decay."""
+        return line.last_refresh_cycle + self.retention_cycles
+
+    def has_fired(self, line: CacheLine, cycle: int) -> bool:
+        """True if the Sentry bit has decayed by ``cycle``."""
+        return cycle >= self.fire_time(line)
+
+
+class SentryGroup:
+    """A group of cache lines sharing one interrupt line.
+
+    The priority encoder serialises interrupts, so when a group fires the
+    controller processes its lines one per cycle (Section 4.2).  The group
+    remembers the (set index, line) pairs it watches; membership is fixed at
+    construction, mirroring the wired OR of sentry outputs in hardware.
+    """
+
+    def __init__(
+        self,
+        group_id: int,
+        members: Sequence[Tuple[int, CacheLine]],
+        sentry: SentryBit,
+    ) -> None:
+        if not members:
+            raise ValueError("a sentry group needs at least one member line")
+        self.group_id = group_id
+        self.members: List[Tuple[int, CacheLine]] = list(members)
+        self.sentry = sentry
+
+    def next_fire_time(self) -> int:
+        """Earliest Sentry decay among the group's *valid* lines.
+
+        Invalid lines hold no data worth protecting, so their sentry decay is
+        irrelevant; if no line is valid the group reports no pending fire
+        (a very large sentinel time).
+        """
+        times = [
+            self.sentry.fire_time(line) for _, line in self.members if line.valid
+        ]
+        if not times:
+            return _NEVER
+        return min(times)
+
+    def due_lines(self, cycle: int) -> List[Tuple[int, CacheLine]]:
+        """Members whose Sentry bit has decayed by ``cycle``."""
+        return [
+            (set_idx, line)
+            for set_idx, line in self.members
+            if line.valid and self.sentry.has_fired(line, cycle)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+#: Sentinel "no pending fire" time used by :meth:`SentryGroup.next_fire_time`.
+_NEVER: int = 2**62
+
+
+def build_sentry_groups(
+    lines: Sequence[Tuple[int, CacheLine]],
+    group_size: int,
+    sentry: SentryBit,
+) -> List[SentryGroup]:
+    """Partition a cache's lines into fixed-size sentry groups."""
+    if group_size < 1:
+        raise ValueError("group size must be >= 1")
+    groups: List[SentryGroup] = []
+    for start in range(0, len(lines), group_size):
+        members = lines[start:start + group_size]
+        groups.append(SentryGroup(len(groups), members, sentry))
+    return groups

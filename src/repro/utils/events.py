@@ -1,0 +1,130 @@
+"""A minimal discrete-event scheduler.
+
+The simulator is event driven: cores schedule their next memory reference
+after the previous one completes, periodic refresh controllers schedule one
+event per line group per retention period, and Refrint controllers schedule
+one event per live Sentry bit.  Events carry a callback and an arbitrary
+payload; ties are broken by insertion order so simulation is deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: simulation time (cycles) at which the event fires.
+        seq: monotonically increasing tie-breaker assigned by the queue.
+        callback: callable invoked as ``callback(time, payload)``.
+        payload: arbitrary data handed back to the callback.
+        cancelled: cancelled events are skipped when popped.
+    """
+
+    time: int
+    seq: int
+    callback: Callable[[int, Any], None] = field(compare=False)
+    payload: Any = field(default=None, compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the queue drops it instead of firing it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Priority queue of :class:`Event` ordered by (time, insertion order)."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time (time of the last event popped)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def schedule(
+        self,
+        time: int,
+        callback: Callable[[int, Any], None],
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``callback`` at ``time``; returns the event handle.
+
+        Raises:
+            ValueError: if ``time`` is in the past.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at {time}, current time is {self._now}"
+            )
+        event = Event(time=time, seq=next(self._counter), callback=callback, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(
+        self,
+        delay: int,
+        callback: Callable[[int, Any], None],
+        payload: Any = None,
+    ) -> Event:
+        """Schedule ``callback`` ``delay`` cycles from the current time."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self._now + delay, callback, payload)
+
+    def pop(self) -> Optional[Event]:
+        """Pop and return the next live event, advancing the clock.
+
+        Returns None when the queue is empty.  The event is *not* executed;
+        callers decide whether to invoke the callback.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            return event
+        return None
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Execute events in order.
+
+        Args:
+            until: stop (without executing) at the first event later than this
+                time; the clock is left at the last executed event.
+            max_events: stop after executing this many events.
+
+        Returns:
+            The number of events executed.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                break
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._heap)
+            self._now = event.time
+            event.callback(event.time, event.payload)
+            executed += 1
+        return executed
+
+    def empty(self) -> bool:
+        """Return True when no live events remain."""
+        return len(self) == 0

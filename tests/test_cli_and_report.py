@@ -1,0 +1,118 @@
+"""Tests for the command-line interface and the Markdown report generator."""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+
+import pytest
+
+from repro.cli import (
+    main,
+    parse_applications,
+    parse_data_policy,
+    parse_timing_policy,
+)
+from repro.config.parameters import DataPolicyKind, TimingPolicyKind
+from repro.config.presets import scaled_architecture
+from repro.core.sweep import PolicyPoint, run_sweep
+from repro.config.parameters import DataPolicySpec
+from repro.experiments.report import sweep_report
+from repro.workloads.suite import build_suite
+
+
+class TestArgumentParsing:
+    def test_parse_data_policy(self):
+        assert parse_data_policy("valid").kind is DataPolicyKind.VALID
+        assert parse_data_policy("all").kind is DataPolicyKind.ALL
+        assert parse_data_policy("dirty").kind is DataPolicyKind.DIRTY
+        wb = parse_data_policy("WB(16,8)")
+        assert wb.kind is DataPolicyKind.WRITEBACK
+        assert (wb.dirty_refreshes, wb.clean_refreshes) == (16, 8)
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_data_policy("smart")
+
+    def test_parse_timing_policy(self):
+        assert parse_timing_policy("periodic") is TimingPolicyKind.PERIODIC
+        assert parse_timing_policy("R") is TimingPolicyKind.REFRINT
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_timing_policy("lazy")
+
+    def test_parse_applications(self):
+        assert parse_applications("fft, lu") == ["fft", "lu"]
+        assert len(parse_applications("all")) == 11
+        with pytest.raises(argparse.ArgumentTypeError):
+            parse_applications("fft,doom")
+
+
+class TestCommands:
+    def test_tables_command(self):
+        out = io.StringIO()
+        assert main(["tables"], out=out) == 0
+        text = out.getvalue()
+        assert "Table 3.1" in text
+        assert "Table 6.1" in text
+        assert "WB(n,m)" in text
+
+    def test_simulate_command(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "simulate", "--application", "blackscholes",
+                "--timing", "refrint", "--data", "valid",
+                "--retention-us", "50", "--length-scale", "0.05",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "memory energy vs SRAM" in text
+        assert "DRAM accesses" in text
+
+    def test_sweep_command_writes_outputs(self, tmp_path):
+        out = io.StringIO()
+        json_path = tmp_path / "sweep.json"
+        report_path = tmp_path / "sweep.md"
+        code = main(
+            [
+                "sweep", "--applications", "blackscholes",
+                "--length-scale", "0.05", "--retentions", "50",
+                "--json", str(json_path), "--report", str(report_path),
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert json_path.exists() and report_path.exists()
+        data = json.loads(json_path.read_text())
+        assert "baselines" in data and "results" in data
+        report = report_path.read_text()
+        assert "Figure 6.1" in report and "Figure 6.4" in report
+        assert "Headline comparison" in report
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def tiny_sweep(self):
+        arch = scaled_architecture()
+        workloads = build_suite(arch, length_scale=0.05, names=["fft"])
+        points = [
+            PolicyPoint(50.0, TimingPolicyKind.PERIODIC, DataPolicySpec.all_lines()),
+            PolicyPoint(50.0, TimingPolicyKind.REFRINT, DataPolicySpec.writeback(32, 32)),
+        ]
+        return run_sweep(workloads, architecture=arch, points=points)
+
+    def test_report_contains_all_figures_and_applications(self, tiny_sweep):
+        report = sweep_report(tiny_sweep, title="Test report")
+        assert report.startswith("# Test report")
+        for marker in ("Figure 6.1", "Figure 6.2", "Figure 6.3", "Figure 6.4"):
+            assert marker in report
+        assert "| fft |" in report
+        assert "Headline comparison" in report
+
+    def test_report_is_valid_markdown_tables(self, tiny_sweep):
+        report = sweep_report(tiny_sweep)
+        table_lines = [line for line in report.splitlines() if line.startswith("|")]
+        assert table_lines
+        for line in table_lines:
+            assert line.count("|") >= 3

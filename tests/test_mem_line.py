@@ -1,0 +1,102 @@
+"""Unit tests for cache line state machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mem.line import CacheLine, DirectoryLine, L3State, MESIState
+
+
+class TestCacheLine:
+    def test_starts_invalid(self):
+        line = CacheLine()
+        assert not line.valid
+        assert not line.dirty
+        assert line.tag is None
+
+    def test_fill_makes_valid_and_refreshes(self):
+        line = CacheLine()
+        line.fill(tag=7, state=MESIState.SHARED, cycle=100)
+        assert line.valid and not line.dirty
+        assert line.tag == 7
+        assert line.last_refresh_cycle == 100
+        assert line.refresh_count is None
+
+    def test_modified_is_dirty(self):
+        line = CacheLine()
+        line.fill(tag=1, state=MESIState.MODIFIED, cycle=0)
+        assert line.dirty
+
+    def test_touch_resets_count_and_refreshes(self):
+        line = CacheLine()
+        line.fill(tag=1, state=MESIState.SHARED, cycle=0)
+        line.refresh_count = 3
+        line.touch(cycle=50)
+        assert line.last_refresh_cycle == 50
+        assert line.refresh_count is None
+
+    def test_refresh_preserves_count(self):
+        line = CacheLine()
+        line.fill(tag=1, state=MESIState.SHARED, cycle=0)
+        line.refresh_count = 3
+        line.refresh(cycle=40)
+        assert line.last_refresh_cycle == 40
+        assert line.refresh_count == 3
+
+    def test_invalidate_clears_state(self):
+        line = CacheLine()
+        line.fill(tag=1, state=MESIState.MODIFIED, cycle=0)
+        line.invalidate()
+        assert not line.valid
+        assert not line.dirty
+        assert line.refresh_count is None
+
+    def test_expiry(self):
+        line = CacheLine()
+        line.fill(tag=1, state=MESIState.SHARED, cycle=100)
+        assert not line.is_expired(cycle=1100, retention_cycles=1000)
+        assert line.is_expired(cycle=1101, retention_cycles=1000)
+
+
+class TestDirectoryLine:
+    def test_starts_invalid_with_empty_directory(self):
+        line = DirectoryLine()
+        assert not line.valid
+        assert line.sharers == set()
+        assert line.owner is None
+
+    def test_fill_is_clean_and_clears_directory(self):
+        line = DirectoryLine()
+        line.sharers = {1, 2}
+        line.owner = 3
+        line.fill(tag=5, state=MESIState.SHARED, cycle=10)
+        assert line.valid and not line.dirty
+        assert line.l3_state is L3State.CLEAN
+        assert line.sharers == set()
+        assert line.owner is None
+
+    def test_dirty_clean_cycle(self):
+        line = DirectoryLine()
+        line.fill(tag=5, state=MESIState.SHARED, cycle=0)
+        line.mark_dirty()
+        assert line.dirty
+        line.mark_clean()
+        assert line.valid and not line.dirty
+
+    def test_cannot_dirty_invalid_line(self):
+        line = DirectoryLine()
+        with pytest.raises(ValueError):
+            line.mark_dirty()
+        with pytest.raises(ValueError):
+            line.mark_clean()
+
+    def test_invalidate_resets_directory(self):
+        line = DirectoryLine()
+        line.fill(tag=5, state=MESIState.SHARED, cycle=0)
+        line.sharers = {0, 4}
+        line.owner = 4
+        line.mark_dirty()
+        line.invalidate()
+        assert not line.valid
+        assert line.sharers == set()
+        assert line.owner is None

@@ -1,0 +1,146 @@
+"""Property-based tests of hierarchy-wide invariants.
+
+These exercise the protocol and the refresh controllers with randomly
+generated operation sequences and assert the invariants the design must
+never violate: inclusion, directory consistency, no decayed data served,
+and conservation of the dirty-data accounting.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.parameters import (
+    DataPolicySpec,
+    SimulationConfig,
+    TimingPolicyKind,
+)
+from repro.hierarchy.hierarchy import CacheHierarchy
+from repro.mem.line import MESIState
+from repro.refresh.controller import build_refresh_controllers
+from repro.utils.events import EventQueue
+from tests.conftest import make_refresh_config, make_tiny_architecture
+
+#: Small pool of block-aligned addresses so operations collide frequently.
+addresses = st.integers(min_value=0, max_value=255).map(lambda n: 0x4000 + n * 64)
+cores = st.integers(min_value=0, max_value=15)
+operations = st.tuples(
+    st.sampled_from(["read", "write", "ifetch"]), cores, addresses
+)
+
+
+def directory_is_consistent(hierarchy: CacheHierarchy) -> bool:
+    """Every private copy is recorded in the home directory entry."""
+    for caches in hierarchy.cores:
+        for set_idx, line in caches.l2.valid_lines():
+            block = caches.l2.block_address_of(set_idx, line)
+            bank = hierarchy.protocol.home_bank(block)
+            l3_line = bank.cache.probe(block)
+            if l3_line is None or not l3_line.valid:
+                return False
+            holders = set(l3_line.sharers)
+            if l3_line.owner is not None:
+                holders.add(l3_line.owner)
+            if caches.core_id not in holders:
+                return False
+            if line.state is MESIState.MODIFIED and l3_line.owner != caches.core_id:
+                return False
+    return True
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=st.lists(operations, min_size=1, max_size=120))
+def test_property_inclusion_and_directory_consistency_sram(ops):
+    hierarchy = CacheHierarchy(make_tiny_architecture())
+    cycle = 0
+    for kind, core, address in ops:
+        if kind == "read":
+            hierarchy.read(core, address, cycle)
+        elif kind == "write":
+            hierarchy.write(core, address, cycle)
+        else:
+            hierarchy.instruction_fetch(core, address, cycle)
+        cycle += 10
+    assert hierarchy.check_inclusion() == []
+    assert directory_is_consistent(hierarchy)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    ops=st.lists(operations, min_size=1, max_size=80),
+    timing=st.sampled_from([TimingPolicyKind.PERIODIC, TimingPolicyKind.REFRINT]),
+    data=st.sampled_from(
+        [
+            DataPolicySpec.all_lines(),
+            DataPolicySpec.valid(),
+            DataPolicySpec.dirty(),
+            DataPolicySpec.writeback(2, 2),
+        ]
+    ),
+)
+def test_property_invariants_hold_under_refresh_policies(ops, timing, data):
+    """Inclusion, directory consistency and no decay under any policy mix."""
+    architecture = make_tiny_architecture()
+    refresh = make_refresh_config(
+        architecture, timing=timing, data=data, retention_cycles=500
+    )
+    config = SimulationConfig.edram(refresh, architecture)
+    hierarchy = CacheHierarchy(architecture)
+    events = EventQueue()
+    for controller in build_refresh_controllers(hierarchy, config, events):
+        controller.start(0)
+    cycle = 0
+    for kind, core, address in ops:
+        events.run(until=cycle)
+        if kind == "read":
+            hierarchy.read(core, address, cycle)
+        elif kind == "write":
+            hierarchy.write(core, address, cycle)
+        else:
+            hierarchy.instruction_fetch(core, address, cycle)
+        cycle += 25
+    events.run(until=cycle + 2000)
+    assert hierarchy.check_inclusion() == []
+    assert directory_is_consistent(hierarchy)
+    assert hierarchy.counters.get("decay_violations") == 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(ops=st.lists(operations, min_size=1, max_size=80))
+def test_property_flush_leaves_no_dirty_data(ops):
+    hierarchy = CacheHierarchy(make_tiny_architecture())
+    cycle = 0
+    for kind, core, address in ops:
+        if kind == "write":
+            hierarchy.write(core, address, cycle)
+        else:
+            hierarchy.read(core, address, cycle)
+        cycle += 10
+    hierarchy.flush_dirty(cycle)
+    dirty = hierarchy.dirty_lines()
+    assert dirty["l2"] == 0
+    assert dirty["l3"] == 0
+
+
+@settings(max_examples=10, deadline=None)
+@given(ops=st.lists(operations, min_size=5, max_size=60))
+def test_property_counters_are_internally_consistent(ops):
+    """Hits + misses equals the number of lookups issued per level."""
+    hierarchy = CacheHierarchy(make_tiny_architecture())
+    reads = writes = 0
+    cycle = 0
+    for kind, core, address in ops:
+        if kind == "write":
+            hierarchy.write(core, address, cycle)
+            writes += 1
+        elif kind == "read":
+            hierarchy.read(core, address, cycle)
+            reads += 1
+        else:
+            hierarchy.instruction_fetch(core, address, cycle)
+        cycle += 10
+    counters = hierarchy.counters
+    data_lookups = counters["l1d_hits"] + counters["l1d_misses"]
+    assert data_lookups == reads + writes
+    assert counters["dram_reads"] <= counters["l2_misses"]

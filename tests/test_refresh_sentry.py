@@ -1,0 +1,92 @@
+"""Unit tests for the Sentry bit model and sentry groups."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mem.line import CacheLine, MESIState
+from repro.refresh.sentry import SentryBit, SentryGroup, build_sentry_groups
+
+
+def line_refreshed_at(cycle: int) -> CacheLine:
+    line = CacheLine()
+    line.fill(tag=1, state=MESIState.SHARED, cycle=cycle)
+    return line
+
+
+class TestSentryBit:
+    def test_fires_before_line_expires(self):
+        sentry = SentryBit(retention_cycles=1000, margin_cycles=100)
+        line = line_refreshed_at(0)
+        assert sentry.fire_time(line) == 900
+        assert sentry.line_expiry_time(line) == 1000
+        assert sentry.fire_time(line) < sentry.line_expiry_time(line)
+
+    def test_has_fired(self):
+        sentry = SentryBit(retention_cycles=1000, margin_cycles=100)
+        line = line_refreshed_at(50)
+        assert not sentry.has_fired(line, cycle=949)
+        assert sentry.has_fired(line, cycle=950)
+
+    def test_access_postpones_fire(self):
+        sentry = SentryBit(retention_cycles=1000, margin_cycles=100)
+        line = line_refreshed_at(0)
+        line.touch(cycle=500)
+        assert sentry.fire_time(line) == 1400
+
+    def test_invalid_margins_rejected(self):
+        with pytest.raises(ValueError):
+            SentryBit(retention_cycles=100, margin_cycles=100)
+        with pytest.raises(ValueError):
+            SentryBit(retention_cycles=0, margin_cycles=0)
+
+
+class TestSentryGroup:
+    def make_group(self, refresh_cycles):
+        sentry = SentryBit(retention_cycles=1000, margin_cycles=200)
+        members = [(idx, line_refreshed_at(cycle)) for idx, cycle in enumerate(refresh_cycles)]
+        return SentryGroup(0, members, sentry), members
+
+    def test_next_fire_time_is_earliest_valid(self):
+        group, members = self.make_group([100, 50, 300])
+        assert group.next_fire_time() == 50 + 800
+        members[1][1].invalidate()
+        assert group.next_fire_time() == 100 + 800
+
+    def test_empty_valid_set_reports_never(self):
+        group, members = self.make_group([0, 0])
+        for _, line in members:
+            line.invalidate()
+        assert group.next_fire_time() > 10**15
+
+    def test_due_lines(self):
+        group, members = self.make_group([0, 500])
+        due = group.due_lines(cycle=800)
+        assert [idx for idx, _ in due] == [0]
+        due = group.due_lines(cycle=1300)
+        assert [idx for idx, _ in due] == [0, 1]
+
+    def test_group_requires_members(self):
+        sentry = SentryBit(retention_cycles=1000, margin_cycles=200)
+        with pytest.raises(ValueError):
+            SentryGroup(0, [], sentry)
+
+
+class TestGroupBuilding:
+    def test_partition_sizes(self):
+        sentry = SentryBit(retention_cycles=1000, margin_cycles=10)
+        lines = [(i, line_refreshed_at(0)) for i in range(10)]
+        groups = build_sentry_groups(lines, group_size=4, sentry=sentry)
+        assert [len(group) for group in groups] == [4, 4, 2]
+        assert sum(len(group) for group in groups) == 10
+
+    def test_group_size_one(self):
+        sentry = SentryBit(retention_cycles=1000, margin_cycles=10)
+        lines = [(i, line_refreshed_at(0)) for i in range(3)]
+        groups = build_sentry_groups(lines, group_size=1, sentry=sentry)
+        assert len(groups) == 3
+
+    def test_bad_group_size(self):
+        sentry = SentryBit(retention_cycles=1000, margin_cycles=10)
+        with pytest.raises(ValueError):
+            build_sentry_groups([(0, line_refreshed_at(0))], 0, sentry)

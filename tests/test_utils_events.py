@@ -1,0 +1,108 @@
+"""Unit tests for the discrete-event scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.events import EventQueue
+
+
+def test_events_fire_in_time_order():
+    queue = EventQueue()
+    fired = []
+    queue.schedule(30, lambda t, p: fired.append((t, p)), payload="c")
+    queue.schedule(10, lambda t, p: fired.append((t, p)), payload="a")
+    queue.schedule(20, lambda t, p: fired.append((t, p)), payload="b")
+    queue.run()
+    assert fired == [(10, "a"), (20, "b"), (30, "c")]
+
+
+def test_ties_break_by_insertion_order():
+    queue = EventQueue()
+    fired = []
+    for label in ("first", "second", "third"):
+        queue.schedule(5, lambda t, p: fired.append(p), payload=label)
+    queue.run()
+    assert fired == ["first", "second", "third"]
+
+
+def test_schedule_in_past_rejected():
+    queue = EventQueue()
+    queue.schedule(10, lambda t, p: None)
+    queue.run()
+    assert queue.now == 10
+    with pytest.raises(ValueError):
+        queue.schedule(5, lambda t, p: None)
+
+
+def test_schedule_after_uses_current_time():
+    queue = EventQueue()
+    seen = []
+    queue.schedule(10, lambda t, p: queue.schedule_after(5, lambda t2, p2: seen.append(t2)))
+    queue.run()
+    assert seen == [15]
+
+
+def test_negative_delay_rejected():
+    queue = EventQueue()
+    with pytest.raises(ValueError):
+        queue.schedule_after(-1, lambda t, p: None)
+
+
+def test_cancelled_events_are_skipped():
+    queue = EventQueue()
+    fired = []
+    keep = queue.schedule(10, lambda t, p: fired.append("keep"))
+    cancel = queue.schedule(5, lambda t, p: fired.append("cancel"))
+    cancel.cancel()
+    queue.run()
+    assert fired == ["keep"]
+    assert keep.time == 10
+
+
+def test_run_until_stops_before_later_events():
+    queue = EventQueue()
+    fired = []
+    queue.schedule(10, lambda t, p: fired.append(10))
+    queue.schedule(20, lambda t, p: fired.append(20))
+    executed = queue.run(until=15)
+    assert executed == 1
+    assert fired == [10]
+    # The remaining event is still there and runs later.
+    queue.run()
+    assert fired == [10, 20]
+
+
+def test_run_max_events_limit():
+    queue = EventQueue()
+    fired = []
+    for time in range(5):
+        queue.schedule(time, lambda t, p: fired.append(t))
+    executed = queue.run(max_events=3)
+    assert executed == 3
+    assert fired == [0, 1, 2]
+
+
+def test_pop_advances_clock_without_executing():
+    queue = EventQueue()
+    fired = []
+    queue.schedule(7, lambda t, p: fired.append(t))
+    event = queue.pop()
+    assert event is not None
+    assert queue.now == 7
+    assert fired == []
+
+
+def test_len_counts_only_live_events():
+    queue = EventQueue()
+    first = queue.schedule(1, lambda t, p: None)
+    queue.schedule(2, lambda t, p: None)
+    first.cancel()
+    assert len(queue) == 1
+    assert not queue.empty()
+
+
+def test_empty_queue_pop_returns_none():
+    queue = EventQueue()
+    assert queue.pop() is None
+    assert queue.empty()
