@@ -1,0 +1,93 @@
+"""Wall-clock scaling of the campaign engine.
+
+Two properties are measured:
+
+* process-pool scaling -- the same small sweep at ``--jobs 1`` versus
+  ``--jobs 4``.  On a multi-core machine the parallel run must not be slower
+  than the serial one (the grid is embarrassingly parallel and only tiny
+  picklable jobs cross the process boundary); on a single-core machine the
+  assertion is skipped because a pool can only add overhead there.
+* resume -- re-running a campaign against a populated result store must be
+  far faster than computing it, since it executes zero simulations.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.campaign.engine import run_campaign
+from repro.campaign.executors import ParallelExecutor, SerialExecutor
+from repro.config.parameters import DataPolicySpec, TimingPolicyKind
+from repro.config.presets import scaled_architecture
+from repro.core.sweep import PolicyPoint
+from repro.workloads.suite import WorkloadRequest
+
+#: Grid sized so the serial run takes seconds: 2 apps x (baseline + 3 points).
+POINTS = [
+    PolicyPoint(50.0, TimingPolicyKind.PERIODIC, DataPolicySpec.all_lines()),
+    PolicyPoint(50.0, TimingPolicyKind.REFRINT, DataPolicySpec.valid()),
+    PolicyPoint(50.0, TimingPolicyKind.REFRINT, DataPolicySpec.writeback(32, 32)),
+]
+
+LENGTH_SCALE = 0.15
+
+
+@pytest.fixture(scope="module")
+def requests():
+    return [
+        WorkloadRequest(name, length_scale=LENGTH_SCALE)
+        for name in ("fft", "blackscholes")
+    ]
+
+
+@pytest.fixture(scope="module")
+def architecture():
+    return scaled_architecture()
+
+
+def _timed_campaign(requests, architecture, **kwargs):
+    start = time.perf_counter()
+    sweep, stats = run_campaign(
+        requests, points=POINTS, architecture=architecture, **kwargs
+    )
+    return sweep, stats, time.perf_counter() - start
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 4,
+    reason="a 4-worker pool only reliably beats serial with >= 4 CPUs",
+)
+def test_parallel_campaign_not_slower_than_serial(requests, architecture):
+    serial, _, serial_s = _timed_campaign(
+        requests, architecture, executor=SerialExecutor()
+    )
+    # Best of two parallel runs: the pool's one-off start-up cost (process
+    # spawn + interpreter re-import) should not fail a scaling assertion.
+    timings = []
+    for _ in range(2):
+        parallel, _, parallel_s = _timed_campaign(
+            requests, architecture, executor=ParallelExecutor(4)
+        )
+        assert parallel.to_dict() == serial.to_dict()
+        timings.append(parallel_s)
+    assert min(timings) <= serial_s * 1.25, (
+        f"parallel campaign slower than serial: {min(timings):.2f}s vs {serial_s:.2f}s"
+    )
+
+
+def test_resumed_campaign_is_nearly_free(tmp_path, requests, architecture):
+    store = tmp_path / "store"
+    _, stats_cold, cold_s = _timed_campaign(
+        requests, architecture, store=store, resume=True
+    )
+    assert stats_cold.executed == stats_cold.total
+    _, stats_warm, warm_s = _timed_campaign(
+        requests, architecture, store=store, resume=True
+    )
+    assert stats_warm.executed == 0
+    assert warm_s < cold_s * 0.5, (
+        f"resume barely faster than recompute: {warm_s:.2f}s vs {cold_s:.2f}s"
+    )

@@ -17,7 +17,9 @@ The library is organised in layers:
 * measurement -- the energy model and accounting (:mod:`repro.energy`);
 * experiments -- workload generators, the parameter sweep of Table 5.4 and
   the regeneration of every evaluation table and figure
-  (:mod:`repro.workloads`, :mod:`repro.core`, :mod:`repro.experiments`).
+  (:mod:`repro.workloads`, :mod:`repro.core`, :mod:`repro.experiments`);
+* campaign -- parallel, resumable sweep execution with a persistent
+  content-addressed result store (:mod:`repro.campaign`).
 
 Quickstart
 ----------
@@ -31,6 +33,13 @@ Quickstart
 True
 """
 
+from repro.campaign import (
+    CampaignStats,
+    ParallelExecutor,
+    ResultStore,
+    SerialExecutor,
+    run_campaign,
+)
 from repro.config.parameters import (
     ArchitectureConfig,
     CacheGeometry,
@@ -43,21 +52,28 @@ from repro.config.parameters import (
 from repro.core.results import SimulationResult
 from repro.core.simulator import RefrintSimulator
 from repro.core.sweep import PolicyPoint, SweepResult, run_sweep
+from repro.workloads.suite import WorkloadRequest
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "ArchitectureConfig",
     "CacheGeometry",
+    "CampaignStats",
     "CellTechnology",
     "DataPolicyKind",
+    "ParallelExecutor",
     "PolicyPoint",
     "RefreshConfig",
     "RefrintSimulator",
+    "ResultStore",
+    "SerialExecutor",
     "SimulationConfig",
     "SimulationResult",
     "SweepResult",
     "TimingPolicyKind",
+    "WorkloadRequest",
+    "run_campaign",
     "run_sweep",
     "__version__",
 ]

@@ -1,0 +1,38 @@
+"""Campaign engine: parallel, resumable execution of simulation sweeps.
+
+The Table 5.4 grid is embarrassingly parallel -- every (application, policy
+point) pair is an independent simulation -- yet the original ``run_sweep``
+executed the whole grid serially in one process and recomputed everything on
+each invocation.  This package turns a sweep into a *campaign*:
+
+* :mod:`repro.campaign.jobs` enumerates the grid as a flat list of
+  content-addressed :class:`~repro.campaign.jobs.Job` objects (config hash x
+  workload recipe);
+* :mod:`repro.campaign.executors` runs jobs through pluggable executors --
+  in-process :class:`~repro.campaign.executors.SerialExecutor` or the
+  process-pool :class:`~repro.campaign.executors.ParallelExecutor`, which
+  regenerates each seeded workload inside the worker so results are
+  bit-identical to a serial run;
+* :mod:`repro.campaign.store` persists every result to a JSON
+  :class:`~repro.campaign.store.ResultStore` keyed by job hash, so resumed
+  or extended campaigns only simulate points they have never seen;
+* :mod:`repro.campaign.engine` ties it together:
+  :func:`~repro.campaign.engine.run_campaign` returns the familiar
+  :class:`~repro.core.sweep.SweepResult` plus execution statistics.
+"""
+
+from repro.campaign.engine import CampaignStats, run_campaign
+from repro.campaign.executors import ParallelExecutor, SerialExecutor, execute_job
+from repro.campaign.jobs import Job, enumerate_jobs
+from repro.campaign.store import ResultStore
+
+__all__ = [
+    "CampaignStats",
+    "Job",
+    "ParallelExecutor",
+    "ResultStore",
+    "SerialExecutor",
+    "enumerate_jobs",
+    "execute_job",
+    "run_campaign",
+]

@@ -1,0 +1,141 @@
+"""The campaign engine: enumerate, (re)use, execute, assemble.
+
+:func:`run_campaign` is the single entry point used by ``run_sweep``, the
+CLI and the :class:`~repro.experiments.runner.ExperimentRunner`.  It
+enumerates the sweep as content-addressed jobs, skips every job whose result
+is already persisted (when resuming), executes the remainder through the
+chosen executor, persists fresh results, and folds everything back into the
+:class:`~repro.core.sweep.SweepResult` the figure/table layer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.campaign.executors import ParallelExecutor, SerialExecutor
+from repro.campaign.jobs import Job, enumerate_jobs
+from repro.campaign.store import ResultStore
+from repro.config.parameters import ArchitectureConfig
+from repro.config.presets import scaled_architecture
+from repro.core.results import SimulationResult
+from repro.core.sweep import PolicyPoint, SweepResult, default_policy_points
+from repro.workloads.suite import WorkloadRequest
+
+
+@dataclass
+class CampaignStats:
+    """How a campaign's jobs were satisfied.
+
+    Attributes:
+        total: number of jobs in the campaign.
+        executed: jobs actually simulated this run.
+        reused: jobs satisfied from the result store without simulating.
+        duplicates: jobs sharing another job's hash, satisfied by its result.
+    """
+
+    total: int
+    executed: int
+    reused: int
+    duplicates: int = 0
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        text = (
+            f"{self.total} jobs: {self.executed} simulated, "
+            f"{self.reused} reused from store"
+        )
+        if self.duplicates:
+            text += f", {self.duplicates} duplicates"
+        return text
+
+
+def make_executor(
+    jobs: int = 1,
+) -> Union[SerialExecutor, ParallelExecutor]:
+    """The executor for a worker count: serial for 1, a process pool above."""
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    return SerialExecutor() if jobs == 1 else ParallelExecutor(jobs)
+
+
+def run_campaign(
+    requests: Sequence[WorkloadRequest],
+    points: Optional[Sequence[PolicyPoint]] = None,
+    architecture: Optional[ArchitectureConfig] = None,
+    executor: Optional[Union[SerialExecutor, ParallelExecutor]] = None,
+    store: Optional[Union[ResultStore, str, Path]] = None,
+    resume: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Tuple[SweepResult, CampaignStats]:
+    """Run (or resume) a sweep campaign.
+
+    Args:
+        requests: workload recipes, one per application.
+        points: sweep points (defaults to the full Table 5.4 grid).
+        architecture: chip geometry (defaults to the scaled preset).
+        executor: how to run jobs (defaults to a :class:`SerialExecutor`).
+        store: result store (or its directory) to persist results into.
+        resume: when True and a store is given, skip jobs whose results are
+            already persisted.
+        progress: optional callback invoked with a message per job.
+
+    Returns:
+        The assembled :class:`SweepResult` and the :class:`CampaignStats`
+        recording how many jobs were simulated versus reused.
+    """
+    arch = architecture if architecture is not None else scaled_architecture()
+    grid = list(points) if points is not None else default_policy_points()
+    if executor is None:
+        executor = SerialExecutor()
+    if store is not None and getattr(executor, "uses_prebuilt_workloads", False):
+        # Pre-built traces are not described by the jobs' workload recipes;
+        # persisting them would poison the store with wrong content hashes.
+        raise ValueError(
+            "cannot use a result store with pre-built workloads; pass "
+            "WorkloadRequests and let the executor regenerate the traces"
+        )
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+
+    jobs = enumerate_jobs(requests, grid, arch)
+    results: Dict[str, SimulationResult] = {}
+    pending: List[Job] = []
+    scheduled: set = set()
+    duplicates = 0
+    for job in jobs:
+        key = job.key()
+        if key in scheduled or key in results:
+            duplicates += 1  # duplicate request: one simulation serves all
+            continue
+        if resume and store is not None:
+            cached = store.get(key)
+            if cached is not None:
+                results[key] = cached
+                if progress is not None:
+                    progress(f"{job.application}: {job.label} (cached)")
+                continue
+        pending.append(job)
+        scheduled.add(key)
+
+    for job, result in executor.run(pending, progress=progress):
+        results[job.key()] = result
+        if store is not None:
+            store.put(job, result)
+
+    sweep = SweepResult(points=grid)
+    for job in jobs:
+        result = results[job.key()]
+        if job.is_baseline:
+            sweep.baselines[job.application] = result
+            sweep.results.setdefault(job.application, {})
+        else:
+            sweep.results.setdefault(job.application, {})[job.point_label] = result
+    stats = CampaignStats(
+        total=len(jobs),
+        executed=len(pending),
+        reused=len(jobs) - len(pending) - duplicates,
+        duplicates=duplicates,
+    )
+    return sweep, stats

@@ -1,0 +1,130 @@
+"""Pluggable campaign executors.
+
+Both executors consume a list of :class:`~repro.campaign.jobs.Job` and yield
+``(job, SimulationResult)`` pairs:
+
+* :class:`SerialExecutor` runs jobs in-process.  It can be seeded with
+  already-built workloads (the classic ``run_sweep`` path) and otherwise
+  regenerates them from the job's :class:`WorkloadRequest`, caching per
+  application so the 43 points of one application share one trace.
+* :class:`ParallelExecutor` fans jobs out over a
+  :class:`concurrent.futures.ProcessPoolExecutor`.  Only the tiny picklable
+  job (recipe + config) crosses the process boundary; each worker rebuilds
+  the workload from its seed, so results are bit-identical to a serial run
+  while the campaign scales with cores.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Iterator, Mapping, Optional, Sequence, Tuple
+
+from repro.campaign.jobs import Job
+from repro.config.parameters import ArchitectureConfig
+from repro.core.results import SimulationResult
+from repro.core.simulator import RefrintSimulator
+from repro.workloads.suite import ApplicationWorkload, WorkloadRequest
+
+#: Optional callback receiving a human-readable message per job.
+ProgressFn = Callable[[str], None]
+
+#: Per-process LRU of regenerated workloads: trace generation is pure in
+#: (request, architecture), so consecutive jobs of the same application reuse
+#: one trace -- in the parent for serial runs and in each worker for parallel
+#: ones.  Jobs are enumerated contiguously per application, so a handful of
+#: entries captures nearly all reuse; the bound keeps long-lived processes
+#: (notebooks, services) from pinning every trace ever generated.
+_WORKLOAD_CACHE: "OrderedDict[Tuple[WorkloadRequest, ArchitectureConfig], ApplicationWorkload]" = (
+    OrderedDict()
+)
+_WORKLOAD_CACHE_MAX = 4
+
+
+def build_workload(job: Job) -> ApplicationWorkload:
+    """Regenerate (or fetch the cached) workload for one job."""
+    cache_key = (job.workload, job.config.architecture)
+    workload = _WORKLOAD_CACHE.get(cache_key)
+    if workload is None:
+        workload = job.workload.build(job.config.architecture)
+        _WORKLOAD_CACHE[cache_key] = workload
+        if len(_WORKLOAD_CACHE) > _WORKLOAD_CACHE_MAX:
+            _WORKLOAD_CACHE.popitem(last=False)
+    else:
+        _WORKLOAD_CACHE.move_to_end(cache_key)
+    return workload
+
+
+def execute_job(job: Job) -> SimulationResult:
+    """Run one job to completion (the worker-process entry point)."""
+    return RefrintSimulator(job.config).run(build_workload(job))
+
+
+class SerialExecutor:
+    """Run campaign jobs one after another in the calling process."""
+
+    def __init__(
+        self, workloads: Optional[Mapping[str, ApplicationWorkload]] = None
+    ) -> None:
+        """``workloads`` short-circuits regeneration for pre-built traces."""
+        self._workloads = dict(workloads) if workloads is not None else None
+
+    @property
+    def uses_prebuilt_workloads(self) -> bool:
+        """True when results may come from caller-supplied traces.
+
+        Pre-built traces are not described by the jobs' workload recipes, so
+        their results must never be persisted under the jobs' content hashes
+        (the engine refuses a store in that case).
+        """
+        return self._workloads is not None
+
+    def run(
+        self, jobs: Sequence[Job], progress: Optional[ProgressFn] = None
+    ) -> Iterator[Tuple[Job, SimulationResult]]:
+        """Yield ``(job, result)`` in submission order."""
+        try:
+            for job in jobs:
+                if progress is not None:
+                    progress(f"{job.application}: {job.label}")
+                if self._workloads is not None and job.application in self._workloads:
+                    workload = self._workloads[job.application]
+                    result = RefrintSimulator(job.config).run(workload)
+                else:
+                    result = execute_job(job)
+                yield job, result
+        finally:
+            # Traces are only worth caching within one campaign; release the
+            # memory so long-lived parent processes don't pin dead workloads.
+            # (Parallel workers die with their pool, reclaiming theirs.)
+            _WORKLOAD_CACHE.clear()
+
+
+class ParallelExecutor:
+    """Run campaign jobs across a pool of worker processes."""
+
+    def __init__(self, max_workers: int) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def run(
+        self, jobs: Sequence[Job], progress: Optional[ProgressFn] = None
+    ) -> Iterator[Tuple[Job, SimulationResult]]:
+        """Yield ``(job, result)`` in completion order.
+
+        All jobs are submitted up front and the pool assigns them to
+        whichever worker frees up, so each worker may rebuild several
+        applications' traces (bounded by its per-process workload cache);
+        regeneration cost is small relative to simulation cost.
+        """
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            future_to_job = {pool.submit(execute_job, job): job for job in jobs}
+            pending = set(future_to_job)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    job = future_to_job[future]
+                    if progress is not None:
+                        progress(f"{job.application}: {job.label}")
+                    yield job, future.result()

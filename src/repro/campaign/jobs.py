@@ -1,0 +1,130 @@
+"""Content-addressed campaign jobs.
+
+A :class:`Job` is the unit of work of a campaign: one simulation of one
+workload under one configuration.  Its identity is a SHA-256 digest of the
+canonical JSON form of the workload recipe and the simulation configuration,
+so two jobs with the same hash are guaranteed to produce the same
+:class:`~repro.core.results.SimulationResult` (the simulator is
+deterministic), and a persisted result can be reused by any later campaign
+that enumerates the same point -- the basis of ``--resume`` and incremental
+grid extension.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from dataclasses import dataclass
+from functools import cached_property
+from typing import List, Optional, Sequence
+
+from repro.config.parameters import ArchitectureConfig, SimulationConfig
+from repro.core.sweep import PolicyPoint
+from repro.workloads.suite import WorkloadRequest
+
+#: Display label used for the full-SRAM baseline job.
+BASELINE_LABEL = "SRAM baseline"
+
+
+def canonical_value(obj: object) -> object:
+    """Recursively convert dataclasses/enums/sequences to JSON-able values.
+
+    The conversion is *canonical*: the same logical object always produces
+    the same nested structure, independent of dict ordering or identity, so
+    the JSON dump (with sorted keys) is a stable hashing payload.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            field.name: canonical_value(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+    if isinstance(obj, enum.Enum):
+        return obj.value
+    if isinstance(obj, (list, tuple)):
+        return [canonical_value(item) for item in obj]
+    if isinstance(obj, dict):
+        return {str(key): canonical_value(value) for key, value in obj.items()}
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    raise TypeError(f"cannot canonicalise {type(obj).__name__} for hashing")
+
+
+@dataclass(frozen=True)
+class Job:
+    """One content-addressed simulation of a campaign.
+
+    Attributes:
+        workload: seeded recipe for regenerating the workload (picklable, so
+            parallel workers rebuild the trace instead of receiving it).
+        config: the full simulation configuration for this point.
+        point_label: the sweep-point label (``50us/R.WB(32,32)``), or None
+            for the full-SRAM baseline.
+    """
+
+    workload: WorkloadRequest
+    config: SimulationConfig
+    point_label: Optional[str] = None
+
+    @property
+    def application(self) -> str:
+        """Application name this job simulates."""
+        return self.workload.name
+
+    @property
+    def is_baseline(self) -> bool:
+        """True for the full-SRAM baseline job of an application."""
+        return self.point_label is None
+
+    @property
+    def label(self) -> str:
+        """Human-readable label for progress messages."""
+        return BASELINE_LABEL if self.is_baseline else self.point_label
+
+    def key(self) -> str:
+        """Content hash identifying this job (and its result) forever.
+
+        The digest covers everything that influences the simulation output:
+        the workload recipe (name, length scale, seed) and the complete
+        configuration (architecture geometry, cell technology, refresh
+        policy, simulator seed).
+        """
+        return self._digest
+
+    @cached_property
+    def _digest(self) -> str:
+        # Memoised: the job is frozen, and canonicalising the nested config
+        # is the expensive part (cached_property writes straight into
+        # __dict__, bypassing the frozen-dataclass setattr guard).
+        payload = {
+            "workload": canonical_value(self.workload),
+            "config": canonical_value(self.config),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def enumerate_jobs(
+    requests: Sequence[WorkloadRequest],
+    points: Sequence[PolicyPoint],
+    architecture: ArchitectureConfig,
+) -> List[Job]:
+    """Flatten a sweep into jobs: per application, the baseline then each point.
+
+    The order matches the original serial ``run_sweep`` loop so progress
+    output and result-dict insertion order are unchanged.
+    """
+    jobs: List[Job] = []
+    baseline_config = SimulationConfig.sram(architecture)
+    for request in requests:
+        jobs.append(Job(workload=request, config=baseline_config))
+        for point in points:
+            jobs.append(
+                Job(
+                    workload=request,
+                    config=point.simulation_config(architecture),
+                    point_label=point.label,
+                )
+            )
+    return jobs

@@ -1,0 +1,89 @@
+"""Persistent JSON result store keyed by job hash.
+
+Each computed :class:`~repro.core.results.SimulationResult` is written to
+``<root>/<job-key>.json`` together with a small metadata header describing
+the job.  Because the key is a content hash of the job (workload recipe +
+full configuration), the store doubles as a cache: re-running a campaign
+with ``resume=True`` skips every point whose file already exists, and
+extending the grid (a new retention time, a new application) only simulates
+the new points.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.campaign.jobs import Job
+from repro.core.results import SimulationResult
+
+
+class ResultStore:
+    """Directory of per-job JSON result files.
+
+    Writes are atomic (write to a temp file, then ``os.replace``) so a
+    campaign killed mid-write never leaves a truncated entry that would
+    poison later resumes; unreadable entries are treated as missing.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        """Filesystem path of one job's result file."""
+        return self.root / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def keys(self) -> Iterator[str]:
+        """Job keys currently persisted in the store."""
+        for path in sorted(self.root.glob("*.json")):
+            yield path.stem
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """Load one result, or None when absent or unreadable."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            return SimulationResult.from_dict(data["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, job: Job, result: SimulationResult) -> Path:
+        """Persist one job's result; returns the file written."""
+        key = job.key()
+        path = self.path_for(key)
+        payload = {
+            "job": {
+                "key": key,
+                "application": job.application,
+                "label": job.label,
+                "length_scale": job.workload.length_scale,
+                "seed": job.workload.seed,
+            },
+            "result": result.to_dict(),
+        }
+        # Unique temp name: concurrent campaigns sharing a store may compute
+        # the same job, and a fixed tmp path would make them race on it.
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{key[:16]}-", suffix=".tmp", dir=self.root
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+        return path

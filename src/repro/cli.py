@@ -13,7 +13,11 @@ Three subcommands cover the common workflows without writing any Python:
 ``sweep``
     Run the Table 5.4 sweep for a set of applications, print the figures of
     Chapter 6 as text tables, and optionally write a JSON summary and a
-    Markdown report.
+    Markdown report.  The sweep runs through the campaign engine:
+    ``--jobs N`` fans the grid out over N worker processes (results are
+    bit-identical to a serial run), ``--store DIR`` persists every point to
+    a content-addressed result store, and ``--resume`` skips points already
+    present in the store.
 
 Examples::
 
@@ -22,6 +26,8 @@ Examples::
         --data "WB(32,32)" --retention-us 50
     python -m repro.cli sweep --applications fft,barnes,blackscholes \
         --length-scale 0.5 --report sweep.md --json sweep.json
+    python -m repro.cli sweep --applications all --jobs 4 \
+        --store results/ --resume
 """
 
 from __future__ import annotations
@@ -33,15 +39,21 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.campaign.engine import make_executor, run_campaign
 from repro.config.parameters import DataPolicySpec, SimulationConfig, TimingPolicyKind
 from repro.config.presets import scaled_architecture
 from repro.core.simulator import RefrintSimulator
-from repro.core.sweep import PolicyPoint, default_policy_points, run_sweep
+from repro.core.sweep import PolicyPoint, default_policy_points
 from repro.experiments import figures as figure_module
 from repro.experiments import tables as table_module
 from repro.experiments.report import sweep_report
 from repro.experiments.runner import headline_summary
-from repro.workloads.suite import APPLICATION_NAMES, build_application, build_suite
+from repro.workloads.suite import (
+    APPLICATION_NAMES,
+    DEFAULT_SEED,
+    WorkloadRequest,
+    build_application,
+)
 
 
 def parse_data_policy(text: str) -> DataPolicySpec:
@@ -117,6 +129,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--json", type=Path, default=None, help="write a JSON summary")
     sweep.add_argument("--report", type=Path, default=None, help="write a Markdown report")
+    sweep.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the campaign engine (1 = in-process)",
+    )
+    sweep.add_argument(
+        "--store", type=Path, default=None,
+        help="directory of the per-point result store",
+    )
+    sweep.add_argument(
+        "--resume", action="store_true",
+        help="skip points already present in the result store (needs --store)",
+    )
+    sweep.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help="base RNG seed for the synthetic workload traces",
+    )
     return parser
 
 
@@ -158,20 +186,31 @@ def _run_simulate(args, out) -> int:
 
 
 def _run_sweep(args, out) -> int:
+    if args.resume and args.store is None:
+        print("error: --resume requires --store", file=sys.stderr)
+        return 2
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
     architecture = scaled_architecture()
     retentions = tuple(
         float(value) for value in str(args.retentions).split(",") if value.strip()
     )
     points = default_policy_points(retention_times_us=retentions)
-    workloads = build_suite(
-        architecture, length_scale=args.length_scale, names=list(args.applications)
-    )
-    sweep = run_sweep(
-        workloads,
-        architecture=architecture,
+    requests = [
+        WorkloadRequest(name, length_scale=args.length_scale, seed=args.seed)
+        for name in args.applications
+    ]
+    sweep, stats = run_campaign(
+        requests,
         points=points,
+        architecture=architecture,
+        executor=make_executor(args.jobs),
+        store=args.store,
+        resume=args.resume,
         progress=lambda message: print(f"  {message}", file=out),
     )
+    print(f"campaign: {stats.summary()}", file=out)
     for figure_fn in (
         figure_module.figure_6_1,
         figure_module.figure_6_2,

@@ -21,7 +21,8 @@ class SimulationResult:
     """Everything measured in one simulation run.
 
     Attributes:
-        config: the configuration that was simulated.
+        config: the configuration that was simulated (None for results
+            restored from a JSON summary, which only keeps the label).
         application: name of the workload.
         execution_cycles: end-to-end execution time in cycles (the finish
             time of the slowest core).
@@ -31,22 +32,29 @@ class SimulationResult:
             DRAM accesses, ...).
         energy: the energy breakdown computed by the energy model.
         per_core_finish_cycles: finish time of each core.
+        restored_label: configuration label carried by results restored via
+            :meth:`from_dict`, which cannot rebuild the full config.
     """
 
-    config: SimulationConfig
+    config: Optional[SimulationConfig]
     application: str
     execution_cycles: int
     busy_core_cycles: int
     counters: Dict[str, int]
     energy: EnergyBreakdown
     per_core_finish_cycles: List[int] = field(default_factory=list)
+    restored_label: Optional[str] = None
 
     # -- raw views -------------------------------------------------------------
 
     @property
     def label(self) -> str:
         """Configuration label (``SRAM``, ``P.all``, ``R.WB(32,32)``, ...)."""
-        return self.config.label
+        if self.config is not None:
+            return self.config.label
+        if self.restored_label is not None:
+            return self.restored_label
+        raise ValueError("result carries neither a config nor a restored label")
 
     def memory_energy(self) -> float:
         """Total memory-hierarchy energy in joules."""
@@ -111,20 +119,58 @@ class SimulationResult:
     # -- serialisation ------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        """A JSON-serialisable summary (used by the experiment cache)."""
+        """A JSON-serialisable summary (used by the experiment cache).
+
+        Energies are coerced to float so a summary is byte-identical whether
+        it came from a fresh run or a :meth:`from_dict` round-trip (an empty
+        accounting sum is the int ``0``, which JSON renders as ``0`` rather
+        than ``0.0``).
+        """
         return {
             "application": self.application,
             "label": self.label,
             "execution_cycles": self.execution_cycles,
             "busy_core_cycles": self.busy_core_cycles,
-            "memory_energy_j": self.memory_energy(),
-            "system_energy_j": self.system_energy(),
-            "energy_by_level": dict(self.energy.by_level),
-            "energy_by_component": dict(self.energy.by_component),
-            "energy_system_parts": dict(self.energy.system),
+            "memory_energy_j": float(self.memory_energy()),
+            "system_energy_j": float(self.system_energy()),
+            "energy_by_level": {k: float(v) for k, v in self.energy.by_level.items()},
+            "energy_by_component": {
+                k: float(v) for k, v in self.energy.by_component.items()
+            },
+            "energy_system_parts": {
+                k: float(v) for k, v in self.energy.system.items()
+            },
             "counters": dict(self.counters),
             "per_core_finish_cycles": list(self.per_core_finish_cycles),
         }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimulationResult":
+        """Rebuild a result from a :meth:`to_dict` summary.
+
+        The full :class:`SimulationConfig` is not serialised, so the restored
+        result has ``config=None`` and keeps the label via
+        ``restored_label``; everything a figure or normalisation helper needs
+        (energy breakdown, counters, cycle counts) round-trips exactly:
+        ``SimulationResult.from_dict(r.to_dict()).to_dict() == r.to_dict()``.
+        """
+        energy = EnergyBreakdown(
+            by_level={k: float(v) for k, v in dict(data["energy_by_level"]).items()},
+            by_component={
+                k: float(v) for k, v in dict(data["energy_by_component"]).items()
+            },
+            system={k: float(v) for k, v in dict(data["energy_system_parts"]).items()},
+        )
+        return cls(
+            config=None,
+            application=str(data["application"]),
+            execution_cycles=int(data["execution_cycles"]),
+            busy_core_cycles=int(data["busy_core_cycles"]),
+            counters={k: int(v) for k, v in dict(data["counters"]).items()},
+            energy=energy,
+            per_core_finish_cycles=[int(v) for v in list(data["per_core_finish_cycles"])],
+            restored_label=str(data["label"]),
+        )
 
 
 def _require_positive(value: float, what: str) -> None:

@@ -26,7 +26,7 @@ from repro.config.presets import (
 )
 from repro.core.results import SimulationResult
 from repro.core.simulator import RefrintSimulator
-from repro.workloads.suite import ApplicationWorkload
+from repro.workloads.suite import ApplicationWorkload, WorkloadRequest
 
 #: The retention times of Table 5.4, in microseconds.
 DEFAULT_RETENTION_TIMES_US: Tuple[float, ...] = (50.0, 100.0, 200.0)
@@ -47,8 +47,51 @@ class PolicyPoint:
 
     @property
     def label(self) -> str:
-        """Fully qualified label, e.g. ``50us/R.WB(32,32)``."""
-        return f"{self.retention_us:g}us/{self.policy_label}"
+        """Fully qualified label, e.g. ``50us/R.WB(32,32)``.
+
+        The retention is rendered with ``%g`` (matching the paper's axis
+        labels) unless that would lose precision -- labels identify points
+        in JSON summaries, so :meth:`from_label` must recover the exact
+        retention value.
+        """
+        text = f"{self.retention_us:g}"
+        if float(text) != self.retention_us:
+            text = repr(self.retention_us)
+        return f"{text}us/{self.policy_label}"
+
+    @classmethod
+    def from_label(cls, label: str) -> "PolicyPoint":
+        """Parse a fully qualified label back into a point.
+
+        Inverse of :attr:`label`; used when reloading a sweep summary from
+        JSON, which stores points by label only.
+        """
+        import re
+
+        # The retention is rendered with %g, which may use scientific
+        # notation (e.g. ``1e+06us``) for very large or small values.
+        match = re.fullmatch(
+            r"([0-9.]+(?:[eE][+-]?[0-9]+)?)us/([PR])\.(all|valid|dirty|WB\((\d+),(\d+)\))",
+            label,
+        )
+        if not match:
+            raise ValueError(f"unparseable policy-point label {label!r}")
+        retention = float(match.group(1))
+        timing = (
+            TimingPolicyKind.PERIODIC
+            if match.group(2) == "P"
+            else TimingPolicyKind.REFRINT
+        )
+        policy_text = match.group(3)
+        if policy_text == "all":
+            data = DataPolicySpec.all_lines()
+        elif policy_text == "valid":
+            data = DataPolicySpec.valid()
+        elif policy_text == "dirty":
+            data = DataPolicySpec.dirty()
+        else:
+            data = DataPolicySpec.writeback(int(match.group(4)), int(match.group(5)))
+        return cls(retention, timing, data)
 
     def refresh_config(self, architecture: ArchitectureConfig) -> RefreshConfig:
         """Materialise the refresh configuration for an architecture."""
@@ -176,8 +219,14 @@ class SweepResult:
     # -- serialisation ------------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-serialisable summary of the whole sweep."""
+        """JSON-serialisable summary of the whole sweep.
+
+        ``applications`` records the insertion order explicitly so the
+        summary survives ``json.dump(..., sort_keys=True)`` (which
+        alphabetises the ``baselines``/``results`` mappings).
+        """
         return {
+            "applications": list(self.baselines.keys()),
             "points": [point.label for point in self.points],
             "baselines": {
                 name: result.to_dict() for name, result in self.baselines.items()
@@ -187,6 +236,31 @@ class SweepResult:
                 for name, by_point in self.results.items()
             },
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepResult":
+        """Rebuild a sweep from a :meth:`to_dict` summary.
+
+        Points are reconstructed by parsing their labels
+        (:meth:`PolicyPoint.from_label`); individual results come back via
+        :meth:`SimulationResult.from_dict`, so
+        ``SweepResult.from_dict(s.to_dict()).to_dict() == s.to_dict()``.
+        """
+        sweep = cls(
+            points=[PolicyPoint.from_label(label) for label in data["points"]]
+        )
+        baselines = dict(data["baselines"])
+        results = dict(data["results"])
+        # Older summaries predate the explicit order key; fall back to the
+        # (possibly alphabetised) mapping order.
+        names = list(data.get("applications", baselines.keys()))
+        for name in names:
+            sweep.baselines[name] = SimulationResult.from_dict(baselines[name])
+            sweep.results[name] = {
+                label: SimulationResult.from_dict(result_data)
+                for label, result_data in dict(results.get(name, {})).items()
+            }
+        return sweep
 
 
 def run_point(
@@ -207,6 +281,11 @@ def run_sweep(
 ) -> SweepResult:
     """Run the full-SRAM baseline plus every sweep point for each application.
 
+    This is a thin wrapper over the campaign engine
+    (:func:`repro.campaign.engine.run_campaign`) using a serial executor
+    seeded with the pre-built workloads; use the engine directly for
+    parallel execution, persistence and resume.
+
     Args:
         applications: workloads keyed by application name.
         architecture: chip geometry (defaults to the scaled preset).
@@ -214,17 +293,19 @@ def run_sweep(
         progress: optional callback invoked with a human-readable message
             before each simulation (useful for long sweeps).
     """
+    # Imported here: the campaign package builds on this module's classes.
+    from repro.campaign.engine import run_campaign
+    from repro.campaign.executors import SerialExecutor
+
     arch = architecture if architecture is not None else scaled_architecture()
     grid = list(points) if points is not None else default_policy_points()
-    sweep = SweepResult(points=grid)
-    for name, workload in applications.items():
-        if progress is not None:
-            progress(f"{name}: SRAM baseline")
-        baseline_config = SimulationConfig.sram(arch)
-        sweep.baselines[name] = RefrintSimulator(baseline_config).run(workload)
-        sweep.results[name] = {}
-        for point in grid:
-            if progress is not None:
-                progress(f"{name}: {point.label}")
-            sweep.results[name][point.label] = run_point(point, workload, arch)
+    requests = [WorkloadRequest(name) for name in applications]
+    executor = SerialExecutor(workloads=applications)
+    sweep, _ = run_campaign(
+        requests,
+        points=grid,
+        architecture=arch,
+        executor=executor,
+        progress=progress,
+    )
     return sweep

@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from repro.campaign.engine import make_executor, run_campaign
+from repro.campaign.jobs import canonical_value
 from repro.config.parameters import ArchitectureConfig, TimingPolicyKind
 from repro.config.presets import paper_data_policies, scaled_architecture
 from repro.core.classes import APPLICATION_CLASSES
@@ -29,9 +31,8 @@ from repro.core.sweep import (
     PolicyPoint,
     SweepResult,
     default_policy_points,
-    run_sweep,
 )
-from repro.workloads.suite import APPLICATION_NAMES, build_suite
+from repro.workloads.suite import APPLICATION_NAMES, WorkloadRequest
 
 #: One representative application per class, used by the quick default scale.
 REPRESENTATIVE_APPLICATIONS: Sequence[str] = ("fft", "barnes", "blackscholes")
@@ -114,38 +115,99 @@ class ExperimentScale:
 
 
 class ExperimentRunner:
-    """Run the sweep needed by the Chapter 6 figures, with optional caching."""
+    """Run (or reload) the sweep needed by the Chapter 6 figures.
+
+    When ``cache_path`` points at a JSON summary saved by a previous run
+    whose recorded scale matches the requested one, the sweep is reloaded
+    from disk instead of re-simulated; otherwise it is executed through the
+    campaign engine (``jobs`` worker processes, optionally persisting and
+    resuming per-point results via ``store``/``resume``).
+    """
 
     def __init__(
         self,
         scale: Optional[ExperimentScale] = None,
         architecture: Optional[ArchitectureConfig] = None,
         cache_path: Optional[Path] = None,
+        jobs: int = 1,
+        store: Optional[Path] = None,
+        resume: bool = False,
     ) -> None:
         self.scale = scale if scale is not None else ExperimentScale.quick()
         self.architecture = (
             architecture if architecture is not None else scaled_architecture()
         )
         self.cache_path = cache_path
+        self.jobs = jobs
+        # Kept as a path: the store directory is only created if the sweep
+        # actually executes (not when it is reloaded from cache).
+        self.store = store
+        self.resume = resume
+        self.reloaded_from_cache = False
         self._sweep: Optional[SweepResult] = None
 
+    def workload_requests(self) -> List[WorkloadRequest]:
+        """The seeded workload recipes implied by this experiment's scale."""
+        return [
+            WorkloadRequest(name, length_scale=self.scale.length_scale)
+            for name in self.scale.applications
+        ]
+
     def sweep(self, progress=None) -> SweepResult:
-        """Run (or return the already-run) sweep for this experiment."""
+        """Run (or reload) the sweep for this experiment."""
         if self._sweep is None:
-            workloads = build_suite(
-                self.architecture,
-                length_scale=self.scale.length_scale,
-                names=list(self.scale.applications),
-            )
-            self._sweep = run_sweep(
-                workloads,
-                architecture=self.architecture,
+            reloaded = self._reload_summary()
+            if reloaded is not None:
+                self.reloaded_from_cache = True
+                self._sweep = reloaded
+                return self._sweep
+            self._sweep, _ = run_campaign(
+                self.workload_requests(),
                 points=self.scale.policy_points(),
+                architecture=self.architecture,
+                executor=make_executor(self.jobs),
+                store=self.store,
+                resume=self.resume,
                 progress=progress,
             )
             if self.cache_path is not None:
                 self.save_summary(self.cache_path)
         return self._sweep
+
+    def _scale_meta(self) -> Dict[str, object]:
+        """The experiment fingerprint stored alongside a cached summary.
+
+        Covers everything that determines the sweep's numbers: the scale
+        (applications, trace length, grid) and the chip geometry, so a
+        summary cached under one architecture is never reloaded by a
+        runner configured with another.
+        """
+        return {
+            "applications": list(self.scale.applications),
+            "length_scale": self.scale.length_scale,
+            "point_labels": [point.label for point in self.scale.policy_points()],
+            "architecture": canonical_value(self.architecture),
+        }
+
+    def _reload_summary(self) -> Optional[SweepResult]:
+        """Load the cached summary when it matches the requested scale."""
+        if self.cache_path is None or not Path(self.cache_path).exists():
+            return None
+        try:
+            with Path(self.cache_path).open("r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict):
+            return None
+        # Summaries without a scale fingerprint (or with a different one)
+        # cannot be trusted to describe this experiment; re-run instead.
+        if data.get("meta") != self._scale_meta():
+            return None
+        try:
+            return SweepResult.from_dict(data)
+        except (KeyError, TypeError, ValueError):
+            return None
 
     def save_summary(self, path: Path) -> None:
         """Write a JSON summary of the sweep (for EXPERIMENTS.md and reuse)."""
@@ -153,8 +215,10 @@ class ExperimentRunner:
             raise RuntimeError("run the sweep before saving a summary")
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
+        payload = dict(self._sweep.to_dict())
+        payload["meta"] = self._scale_meta()
         with path.open("w", encoding="utf-8") as handle:
-            json.dump(self._sweep.to_dict(), handle, indent=2, sort_keys=True)
+            json.dump(payload, handle, indent=2, sort_keys=True)
 
     # -- headline numbers --------------------------------------------------------
 

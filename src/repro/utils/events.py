@@ -32,10 +32,16 @@ class Event:
     callback: Callable[[int, Any], None] = field(compare=False)
     payload: Any = field(default=None, compare=False)
     cancelled: bool = field(default=False, compare=False)
+    queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark this event so the queue drops it instead of firing it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.queue is not None:
+            self.queue._note_cancelled()
+            self.queue = None
 
 
 class EventQueue:
@@ -45,6 +51,7 @@ class EventQueue:
         self._heap: list[Event] = []
         self._counter = itertools.count()
         self._now = 0
+        self._live = 0
 
     @property
     def now(self) -> int:
@@ -52,7 +59,18 @@ class EventQueue:
         return self._now
 
     def __len__(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        # O(1): a live-event counter is maintained on schedule/cancel/pop
+        # instead of scanning the heap for cancelled entries.
+        return self._live
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` when a tracked event is cancelled."""
+        self._live -= 1
+
+    def _detach(self, event: Event) -> None:
+        """Stop tracking a popped live event (cancel() becomes a no-op)."""
+        self._live -= 1
+        event.queue = None
 
     def schedule(
         self,
@@ -69,8 +87,12 @@ class EventQueue:
             raise ValueError(
                 f"cannot schedule event at {time}, current time is {self._now}"
             )
-        event = Event(time=time, seq=next(self._counter), callback=callback, payload=payload)
+        event = Event(
+            time=time, seq=next(self._counter), callback=callback,
+            payload=payload, queue=self,
+        )
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def schedule_after(
@@ -94,6 +116,7 @@ class EventQueue:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            self._detach(event)
             self._now = event.time
             return event
         return None
@@ -120,6 +143,7 @@ class EventQueue:
             if until is not None and event.time > until:
                 break
             heapq.heappop(self._heap)
+            self._detach(event)
             self._now = event.time
             event.callback(event.time, event.payload)
             executed += 1
@@ -127,4 +151,4 @@ class EventQueue:
 
     def empty(self) -> bool:
         """Return True when no live events remain."""
-        return len(self) == 0
+        return self._live == 0

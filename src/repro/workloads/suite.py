@@ -276,3 +276,42 @@ def build_suite(
         name: build_application(name, config, length_scale=length_scale, seed=seed)
         for name in selected
     }
+
+
+#: Default RNG seed shared with :class:`SimulationConfig` (the paper's year).
+DEFAULT_SEED = 2013
+
+
+@dataclass(frozen=True)
+class WorkloadRequest:
+    """A seeded, picklable recipe for regenerating one application workload.
+
+    The campaign engine ships these to worker processes instead of the traces
+    themselves: a request is a few dozen bytes, whereas a generated workload
+    is millions of addresses.  Because the synthetic generator is a pure
+    function of ``(spec, architecture, length_scale, seed)``, rebuilding the
+    workload inside a worker yields a bit-identical trace, so parallel and
+    serial campaign runs produce identical results.
+
+    Attributes:
+        name: application name (one of :data:`APPLICATION_NAMES`).
+        length_scale: multiplier on the per-thread trace length.
+        seed: base RNG seed for the trace generator.
+    """
+
+    name: str
+    length_scale: float = 1.0
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if self.length_scale <= 0:
+            raise ValueError("length_scale must be positive")
+
+    def build(self, architecture: ArchitectureConfig) -> ApplicationWorkload:
+        """Generate the workload this request describes."""
+        return build_application(
+            self.name,
+            architecture,
+            length_scale=self.length_scale,
+            seed=self.seed,
+        )

@@ -91,6 +91,29 @@ class TestCommands:
         assert "Headline comparison" in report
 
 
+    def test_sweep_command_store_and_resume(self, tmp_path):
+        store = tmp_path / "store"
+        argv = [
+            "sweep", "--applications", "blackscholes",
+            "--length-scale", "0.05", "--retentions", "50",
+            "--store", str(store),
+        ]
+        out = io.StringIO()
+        assert main(argv, out=out) == 0
+        first = out.getvalue()
+        assert "simulated" in first and store.exists()
+        out = io.StringIO()
+        assert main(argv + ["--resume"], out=out) == 0
+        second = out.getvalue()
+        assert "0 simulated" in second
+        assert "(cached)" in second
+
+    def test_sweep_resume_requires_store(self, capsys):
+        assert main(["sweep", "--resume"], out=io.StringIO()) == 2
+        # Like argparse errors, validation errors land on stderr.
+        assert "--store" in capsys.readouterr().err
+
+
 class TestReport:
     @pytest.fixture(scope="class")
     def tiny_sweep(self):

@@ -106,3 +106,32 @@ def test_empty_queue_pop_returns_none():
     queue = EventQueue()
     assert queue.pop() is None
     assert queue.empty()
+
+
+def test_len_is_tracked_across_schedule_cancel_pop():
+    queue = EventQueue()
+    events = [queue.schedule(time, lambda t, p: None) for time in range(4)]
+    assert len(queue) == 4
+    events[0].cancel()
+    events[0].cancel()  # double cancel must not decrement twice
+    assert len(queue) == 3
+    popped = queue.pop()  # skips the cancelled event, pops the live one at t=1
+    assert popped.time == 1
+    assert len(queue) == 2
+    # Cancelling an already-popped event must not affect the counter.
+    popped.cancel()
+    assert len(queue) == 2
+    queue.run()
+    assert len(queue) == 0 and queue.empty()
+
+
+def test_len_is_tracked_through_run():
+    queue = EventQueue()
+    cancelled = []
+    # The first event cancels the second while the queue is draining.
+    second = queue.schedule(10, lambda t, p: cancelled.append(t))
+    queue.schedule(5, lambda t, p: second.cancel())
+    assert len(queue) == 2
+    queue.run()
+    assert cancelled == []
+    assert len(queue) == 0
