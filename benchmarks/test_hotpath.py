@@ -1,0 +1,143 @@
+"""Old-vs-new hot-path benchmark: object backend versus array backend.
+
+One single job -- the paper's headline configuration, Refrint with
+WB(32, 32) at 50 us retention -- is simulated through both cache backends.
+The object backend is the original one-object-per-line model (dataclass
+allocations and property chains on every access); the array backend is the
+struct-of-arrays staged path.  Both produce byte-identical results (pinned
+by ``tests/test_backend_equivalence.py``); this benchmark tracks the price
+of the old representation and gates against regressions of the new one.
+
+Wall-clock and accesses-per-second (data references retired per second of
+host time) for both backends are appended as a trajectory point to
+``BENCH_hotpath.json`` in the repository root when ``REFRINT_HOTPATH_EMIT=1``
+is set (the CI smoke job sets it; plain test runs must not dirty the
+committed trajectory), so the speedup is visible over the project's
+history.
+
+Quick mode (``REFRINT_HOTPATH_QUICK=1``, used by the CI smoke job) runs a
+shorter trace with a relaxed gate so shared-runner noise cannot flake the
+build; the full run asserts the refactor's >= 2x target.  The gate is a
+same-host ratio (best-of-N object time over best-of-N array time), so
+machine load cancels out of the comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import pytest
+
+from repro.config.parameters import (
+    DataPolicySpec,
+    RefreshConfig,
+    SimulationConfig,
+    TimingPolicyKind,
+)
+from repro.config.presets import scaled_architecture, scaled_retention_cycles
+from repro.core.simulator import RefrintSimulator
+from repro.workloads.suite import build_application
+
+QUICK = os.environ.get("REFRINT_HOTPATH_QUICK", "") not in ("", "0")
+EMIT = os.environ.get("REFRINT_HOTPATH_EMIT", "") not in ("", "0")
+
+#: Trace length and required array-vs-object speedup per mode.
+LENGTH_SCALE = 0.1 if QUICK else 0.3
+MIN_SPEEDUP = 1.2 if QUICK else 2.0
+
+#: Timing repetitions (best-of): absorbs scheduler noise on shared runners.
+ROUNDS = 2 if QUICK else 3
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+
+@pytest.fixture(scope="module")
+def config():
+    architecture = scaled_architecture()
+    retention = scaled_retention_cycles(50.0)
+    refresh = RefreshConfig(
+        retention_cycles=retention,
+        sentry_margin_cycles=RefreshConfig.derive_sentry_margin(
+            architecture.l3_bank.num_lines, retention
+        ),
+        timing_policy=TimingPolicyKind.REFRINT,
+        l3_data_policy=DataPolicySpec.writeback(32, 32),
+    )
+    return SimulationConfig.edram(refresh, architecture)
+
+
+@pytest.fixture(scope="module")
+def workload(config):
+    return build_application(
+        "fft", config.architecture, length_scale=LENGTH_SCALE
+    )
+
+
+def _measure(config, workload, backend: str):
+    """Best-of-N wall-clock for one backend; returns (seconds, result)."""
+    best = None
+    result = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        result = RefrintSimulator(config, cache_backend=backend).run(workload)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def _accesses(result) -> int:
+    """Data references retired (each hits the L1D exactly once)."""
+    return result.counter("l1d_reads") + result.counter("l1d_writes")
+
+
+def _append_trajectory_point(point: dict) -> None:
+    history = []
+    if BENCH_FILE.exists():
+        try:
+            history = json.loads(BENCH_FILE.read_text())
+            if not isinstance(history, list):
+                history = [history]
+        except ValueError:
+            history = []
+    history.append(point)
+    BENCH_FILE.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
+
+
+def test_hotpath_object_vs_array(config, workload):
+    object_seconds, object_result = _measure(config, workload, "object")
+    array_seconds, array_result = _measure(config, workload, "array")
+
+    accesses = _accesses(array_result)
+    assert accesses == _accesses(object_result)
+    speedup = object_seconds / array_seconds
+    point = {
+        "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "quick_mode": QUICK,
+        "application": workload.name,
+        "length_scale": LENGTH_SCALE,
+        "config": config.label,
+        "accesses": accesses,
+        "object": {
+            "wall_seconds": round(object_seconds, 4),
+            "accesses_per_second": round(accesses / object_seconds),
+        },
+        "array": {
+            "wall_seconds": round(array_seconds, 4),
+            "accesses_per_second": round(accesses / array_seconds),
+        },
+        "speedup": round(speedup, 3),
+    }
+    if EMIT:
+        _append_trajectory_point(point)
+
+    assert array_result.execution_cycles == object_result.execution_cycles
+    assert speedup >= MIN_SPEEDUP, (
+        f"array backend only {speedup:.2f}x faster than the object backend "
+        f"(required {MIN_SPEEDUP}x; object {object_seconds:.3f}s, "
+        f"array {array_seconds:.3f}s)"
+    )

@@ -24,6 +24,7 @@ each invocation.  This package turns a sweep into a *campaign*:
 from repro.campaign.engine import CampaignStats, run_campaign
 from repro.campaign.executors import ParallelExecutor, SerialExecutor, execute_job
 from repro.campaign.jobs import Job, enumerate_jobs
+from repro.campaign.maintenance import store_gc, store_ls, store_verify
 from repro.campaign.store import ResultStore
 
 __all__ = [
@@ -35,4 +36,7 @@ __all__ = [
     "enumerate_jobs",
     "execute_job",
     "run_campaign",
+    "store_gc",
+    "store_ls",
+    "store_verify",
 ]

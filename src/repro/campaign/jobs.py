@@ -92,17 +92,30 @@ class Job:
         """
         return self._digest
 
+    def hash_payload(self) -> dict:
+        """The canonical nested structure the job key is a digest of.
+
+        Persisted alongside stored results so ``store verify`` can re-derive
+        the content hash of an entry without reconstructing the original
+        :class:`Job` objects.
+        """
+        return {
+            "workload": canonical_value(self.workload),
+            "config": canonical_value(self.config),
+        }
+
     @cached_property
     def _digest(self) -> str:
         # Memoised: the job is frozen, and canonicalising the nested config
         # is the expensive part (cached_property writes straight into
         # __dict__, bypassing the frozen-dataclass setattr guard).
-        payload = {
-            "workload": canonical_value(self.workload),
-            "config": canonical_value(self.config),
-        }
-        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        return hash_payload_digest(self.hash_payload())
+
+
+def hash_payload_digest(payload: dict) -> str:
+    """SHA-256 digest of a canonical job payload (the store's file key)."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
 def enumerate_jobs(

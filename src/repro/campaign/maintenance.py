@@ -1,0 +1,167 @@
+"""Result-store maintenance: listing, garbage collection, verification.
+
+A campaign result store accretes state over many runs: interrupted writes
+leave ``*.tmp`` orphans, disk corruption or hand-editing can truncate
+entries, and an entry's filename is a content hash that should always match
+what is inside the file.  The three operations here keep a store healthy:
+
+``ls``
+    One line per entry (key prefix, application, policy label, trace
+    parameters) without loading full results into memory.
+
+``gc``
+    Remove temp-file orphans and entries that cannot be parsed or whose
+    result payload does not round-trip -- the files a ``resume`` would
+    silently recompute anyway, now deleted instead of shadowing the store.
+
+``verify``
+    Re-derive each entry's content hash from the persisted canonical job
+    payload and compare it to the filename, and check the result payload
+    round-trips bit-exactly through :class:`SimulationResult`.
+
+All three are exposed through ``python -m repro.cli store ...``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.campaign.jobs import hash_payload_digest
+from repro.campaign.store import ResultStore
+from repro.core.results import SimulationResult
+
+
+@dataclass(frozen=True)
+class EntryStatus:
+    """Health report for one store entry (or stray file)."""
+
+    path: Path
+    key: Optional[str] = None
+    application: Optional[str] = None
+    label: Optional[str] = None
+    problem: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when no problem was found."""
+        return self.problem is None
+
+
+@dataclass
+class StoreReport:
+    """Outcome of a maintenance pass over one store."""
+
+    entries: List[EntryStatus] = field(default_factory=list)
+    orphans: List[Path] = field(default_factory=list)
+    removed: List[Path] = field(default_factory=list)
+
+    @property
+    def problems(self) -> List[EntryStatus]:
+        """Entries with a detected problem."""
+        return [entry for entry in self.entries if not entry.ok]
+
+    @property
+    def ok(self) -> bool:
+        """True when every entry is healthy and no orphans remain."""
+        return not self.problems and not self.orphans
+
+
+def _store_root(store: Union[ResultStore, str, Path]) -> Path:
+    if isinstance(store, ResultStore):
+        return store.root
+    return Path(store)
+
+
+def _inspect_entry(path: Path, check_hash: bool) -> EntryStatus:
+    """Classify one ``<key>.json`` entry file."""
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as error:
+        return EntryStatus(path=path, problem=f"unreadable JSON ({error})")
+    if not isinstance(data, dict) or "job" not in data or "result" not in data:
+        return EntryStatus(path=path, problem="missing job/result sections")
+    job = data["job"] if isinstance(data["job"], dict) else {}
+    key = job.get("key")
+    application = job.get("application")
+    label = job.get("label")
+    if key != path.stem:
+        return EntryStatus(
+            path=path, key=key, application=application, label=label,
+            problem=f"recorded key {str(key)[:16]}... does not match filename",
+        )
+    try:
+        restored = SimulationResult.from_dict(data["result"])
+        if restored.to_dict() != data["result"]:
+            raise ValueError("result payload does not round-trip")
+    except (KeyError, TypeError, ValueError) as error:
+        return EntryStatus(
+            path=path, key=key, application=application, label=label,
+            problem=f"corrupt result payload ({error})",
+        )
+    if check_hash:
+        payload = data.get("hash_payload")
+        if payload is None:
+            return EntryStatus(
+                path=path, key=key, application=application, label=label,
+                problem="no hash payload recorded (written by a pre-hash store)",
+            )
+        digest = hash_payload_digest(payload)
+        if digest != path.stem:
+            return EntryStatus(
+                path=path, key=key, application=application, label=label,
+                problem=f"content hash mismatch (recomputed {digest[:16]}...)",
+            )
+    return EntryStatus(path=path, key=key, application=application, label=label)
+
+
+def scan_store(
+    store: Union[ResultStore, str, Path], check_hashes: bool = False
+) -> StoreReport:
+    """Inspect every entry and stray file in a store."""
+    root = _store_root(store)
+    report = StoreReport()
+    if not root.is_dir():
+        return report
+    for path in sorted(root.iterdir()):
+        if path.is_dir():
+            continue
+        if path.suffix == ".json":
+            report.entries.append(_inspect_entry(path, check_hashes))
+        else:
+            # Anything else in a store directory is a leftover (temp files
+            # from interrupted writes, editor droppings).
+            report.orphans.append(path)
+    return report
+
+
+def store_ls(store: Union[ResultStore, str, Path]) -> StoreReport:
+    """List the entries of a store (no hash re-check)."""
+    return scan_store(store, check_hashes=False)
+
+
+def store_verify(store: Union[ResultStore, str, Path]) -> StoreReport:
+    """Fully verify a store: structure, round-trip, and content hashes."""
+    return scan_store(store, check_hashes=True)
+
+
+def store_gc(
+    store: Union[ResultStore, str, Path], dry_run: bool = False
+) -> StoreReport:
+    """Drop orphan temp files and corrupt entries from a store.
+
+    Entries failing the *structural* checks (unreadable, wrong sections,
+    key/filename mismatch, non-round-tripping result) are removed; entries
+    that merely predate hash-payload recording are kept, since their results
+    are still loadable.  Returns the report with ``removed`` filled in.
+    """
+    report = scan_store(store, check_hashes=False)
+    doomed = list(report.orphans) + [entry.path for entry in report.problems]
+    for path in doomed:
+        if not dry_run:
+            path.unlink(missing_ok=True)
+        report.removed.append(path)
+    return report

@@ -71,6 +71,10 @@ class ResultStore:
                 "length_scale": job.workload.length_scale,
                 "seed": job.workload.seed,
             },
+            # The canonical structure the key is a SHA-256 of; lets
+            # ``store verify`` re-check the content hash of an entry
+            # without the original Job objects.
+            "hash_payload": job.hash_payload(),
             "result": result.to_dict(),
         }
         # Unique temp name: concurrent campaigns sharing a store may compute

@@ -19,6 +19,12 @@ Three subcommands cover the common workflows without writing any Python:
     a content-addressed result store, and ``--resume`` skips points already
     present in the store.
 
+``store``
+    Maintain a campaign result store: ``store ls DIR`` lists its entries,
+    ``store gc DIR`` drops temp-file orphans and corrupt entries
+    (``--dry-run`` to preview), and ``store verify DIR`` re-checks every
+    entry's content hash against its filename.
+
 Examples::
 
     python -m repro.cli tables
@@ -28,6 +34,7 @@ Examples::
         --length-scale 0.5 --report sweep.md --json sweep.json
     python -m repro.cli sweep --applications all --jobs 4 \
         --store results/ --resume
+    python -m repro.cli store verify results/
 """
 
 from __future__ import annotations
@@ -145,6 +152,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=DEFAULT_SEED,
         help="base RNG seed for the synthetic workload traces",
     )
+
+    store = commands.add_parser(
+        "store", help="maintain a campaign result store"
+    )
+    store.add_argument(
+        "action", choices=("ls", "gc", "verify"),
+        help="ls: list entries; gc: drop orphans and corrupt entries; "
+             "verify: re-check content hashes",
+    )
+    store.add_argument("root", type=Path, help="result store directory")
+    store.add_argument(
+        "--dry-run", action="store_true",
+        help="for gc: report what would be removed without deleting",
+    )
     return parser
 
 
@@ -238,6 +259,50 @@ def _run_sweep(args, out) -> int:
     return 0
 
 
+def _run_store(args, out) -> int:
+    from repro.campaign.maintenance import store_gc, store_ls, store_verify
+
+    if not args.root.is_dir():
+        print(f"error: {args.root} is not a directory", file=sys.stderr)
+        return 2
+    if args.action == "ls":
+        report = store_ls(args.root)
+        for entry in report.entries:
+            status = "ok" if entry.ok else f"BAD: {entry.problem}"
+            key = (entry.key or entry.path.stem)[:16]
+            print(
+                f"{key}  {entry.application or '?':14s} "
+                f"{entry.label or '?':20s} {status}",
+                file=out,
+            )
+        print(
+            f"{len(report.entries)} entries, {len(report.orphans)} stray files",
+            file=out,
+        )
+        return 0
+    if args.action == "gc":
+        report = store_gc(args.root, dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
+        for path in report.removed:
+            print(f"{verb} {path.name}", file=out)
+        kept = len(report.entries) - len(report.problems)
+        print(f"{verb} {len(report.removed)} files, kept {kept} entries", file=out)
+        return 0
+    # verify
+    report = store_verify(args.root)
+    for entry in report.problems:
+        print(f"FAIL {entry.path.name}: {entry.problem}", file=out)
+    for path in report.orphans:
+        print(f"FAIL {path.name}: stray non-entry file", file=out)
+    ok_count = len(report.entries) - len(report.problems)
+    print(
+        f"verified {len(report.entries)} entries: {ok_count} ok, "
+        f"{len(report.problems)} bad, {len(report.orphans)} stray files",
+        file=out,
+    )
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     out = out if out is not None else sys.stdout
@@ -248,6 +313,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _run_simulate(args, out)
     if args.command == "sweep":
         return _run_sweep(args, out)
+    if args.command == "store":
+        return _run_store(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -15,9 +15,17 @@ event order and interact with the protocol only through the well-defined
 entry points ``policy_invalidate_l3 / policy_writeback_l3 /
 policy_invalidate_l2 / policy_writeback_l2``.
 
+The common-case path (an L1 or L2 hit) is *staged*: it asks the cache for a
+packed line index (:meth:`~repro.mem.cache.Cache.access_index`) and reads
+the MESI state as an integer code, so a hit costs a handful of list reads
+and no allocation.  Rarer transactions (misses, directory actions,
+refresh-policy callbacks) materialise the per-line views, whose object
+interface carries the directory's sharer sets.
+
 Every cache access, network message and DRAM access is recorded in a shared
 :class:`~repro.utils.statistics.Counter`, from which the energy model builds
-its account.
+its account; the hot paths increment the counter's raw dict with
+pre-computed keys.
 """
 
 from __future__ import annotations
@@ -28,12 +36,16 @@ from repro.coherence.directory import Directory
 from repro.coherence.messages import MessageKind
 from repro.config.parameters import ArchitectureConfig
 from repro.hierarchy.levels import CoreCaches, L3Bank
-from repro.mem.cache import Cache, EvictionResult
+from repro.mem.cache import Cache
 from repro.mem.dram import MainMemory
-from repro.mem.line import DirectoryLine, MESIState
+from repro.mem.line import (
+    DirectoryLine,
+    MESI_EXCLUSIVE,
+    MESI_MODIFIED,
+    MESI_SHARED,
+    MESIState,
+)
 from repro.noc.network import TorusNetwork
-from repro.utils.addr import block_address as to_block
-from repro.utils.addr import interleaved_bank
 from repro.utils.statistics import Counter
 
 
@@ -55,7 +67,14 @@ class DirectoryProtocol:
         self.network = network
         self.dram = dram
         self.counters = counters
+        self._counts = counters.raw
         self._line_bytes = architecture.line_bytes
+        self._line_shift = architecture.line_bytes.bit_length() - 1
+        self._block_mask = ~(architecture.line_bytes - 1)
+        self._num_banks = len(self.banks)
+        # Counter keys are interned once; building an f-string per access
+        # would dominate the staged fast path.
+        self._msg_keys = {kind: kind.counter_name for kind in MessageKind}
 
     # ------------------------------------------------------------------
     # Address helpers
@@ -63,12 +82,11 @@ class DirectoryProtocol:
 
     def block_of(self, address: int) -> int:
         """Block address containing a byte address."""
-        return to_block(address, self._line_bytes)
+        return address & self._block_mask
 
     def home_bank(self, block: int) -> L3Bank:
         """The statically mapped home L3 bank of a block."""
-        index = interleaved_bank(block, self._line_bytes, len(self.banks))
-        return self.banks[index]
+        return self.banks[(block >> self._line_shift) % self._num_banks]
 
     # ------------------------------------------------------------------
     # Core-visible operations
@@ -90,36 +108,41 @@ class DirectoryProtocol:
         the line with write permission (M or E).
         """
         caches = self.cores[core_id]
-        block = self.block_of(address)
-        latency = self._array_access(caches.l1d, "l1d", "write", cycle, block)
-        l1_hit = caches.l1d.access(block, cycle).hit
-        if l1_hit:
-            self.counters.add("l1d_hits")
+        counts = self._counts
+        block = address & self._block_mask
+        l1d = caches.l1d
+        latency = self._array_access(
+            l1d, "l1d_writes", "l1d_refresh_stall_cycles", cycle, block
+        )
+        if l1d.access_index(block, cycle) >= 0:
+            counts["l1d_hits"] += 1
         else:
-            self.counters.add("l1d_misses")
+            counts["l1d_misses"] += 1
 
-        latency += self._array_access(caches.l2, "l2", "write", cycle + latency, block)
-        l2_result = caches.l2.access(block, cycle + latency)
-        if l2_result.hit:
-            self.counters.add("l2_hits")
-            assert l2_result.line is not None
-            line = l2_result.line
-            if line.state is MESIState.MODIFIED:
+        l2 = caches.l2
+        latency += self._array_access(
+            l2, "l2_writes", "l2_refresh_stall_cycles", cycle + latency, block
+        )
+        l2_index = l2.access_index(block, cycle + latency)
+        if l2_index >= 0:
+            counts["l2_hits"] += 1
+            code = l2.state_code(l2_index)
+            if code == MESI_MODIFIED:
                 return latency
-            if line.state is MESIState.EXCLUSIVE:
-                line.state = MESIState.MODIFIED
+            if code == MESI_EXCLUSIVE:
+                l2.set_state_code(l2_index, MESI_MODIFIED)
                 return latency
             # SHARED: needs an upgrade from the directory.
             latency += self._upgrade(core_id, block, cycle + latency)
-            line.state = MESIState.MODIFIED
+            l2.set_state_code(l2_index, MESI_MODIFIED)
             return latency
-        self.counters.add("l2_misses")
+        counts["l2_misses"] += 1
         latency += self._fetch_into_l2(
             core_id, block, cycle + latency, for_write=True
         )
-        l2_line = caches.l2.probe(block)
-        assert l2_line is not None, "fetch_into_l2 must install the block"
-        l2_line.state = MESIState.MODIFIED
+        l2_index = l2.probe_index(block)
+        assert l2_index >= 0, "fetch_into_l2 must install the block"
+        l2.set_state_code(l2_index, MESI_MODIFIED)
         return latency
 
     def flush_dirty(self, cycle: int) -> None:
@@ -130,24 +153,25 @@ class DirectoryProtocol:
         are compared fairly against those that keep it on chip.
         """
         for caches in self.cores:
-            for set_idx, line in caches.l2.iter_lines():
-                if line.valid and line.state is MESIState.MODIFIED:
-                    block = caches.l2.block_address_of(set_idx, line)
-                    bank = self.home_bank(block)
-                    self._count_message(
-                        MessageKind.WRITEBACK, caches.core_id, bank.vertex, data=True
-                    )
-                    self._array_access(bank.cache, "l3", "write", cycle, block)
-                    l3_line = bank.cache.probe(block)
-                    if isinstance(l3_line, DirectoryLine) and l3_line.valid:
-                        l3_line.mark_dirty()
-                        Directory.clear_owner(l3_line)
-                    line.state = MESIState.SHARED
+            l2 = caches.l2
+            for index in l2.dirty_indices():
+                block = l2.block_address_at(index)
+                bank = self.home_bank(block)
+                self._count_message(
+                    MessageKind.WRITEBACK, caches.core_id, bank.vertex, data=True
+                )
+                self._array_access(
+                    bank.cache, "l3_writes", "l3_refresh_stall_cycles", cycle, block
+                )
+                l3_line = bank.cache.probe(block)
+                if isinstance(l3_line, DirectoryLine) and l3_line.valid:
+                    l3_line.mark_dirty()
+                    Directory.clear_owner(l3_line)
+                l2.set_state_code(index, MESI_SHARED)
         for bank in self.banks:
-            for _, line in bank.cache.iter_lines():
-                if isinstance(line, DirectoryLine) and line.dirty:
-                    self.dram.write(0)
-                    line.mark_clean()
+            for index in bank.cache.dirty_indices():
+                self.dram.write(0)
+                bank.cache.view(index).mark_clean()
 
     # ------------------------------------------------------------------
     # Refresh-policy entry points
@@ -226,35 +250,39 @@ class DirectoryProtocol:
         self, core_id: int, address: int, cycle: int, instruction: bool
     ) -> int:
         caches = self.cores[core_id]
-        l1 = caches.l1i if instruction else caches.l1d
-        level = "l1i" if instruction else "l1d"
-        block = self.block_of(address)
-
-        latency = self._array_access(l1, level, "read", cycle, block)
-        if l1.access(block, cycle).hit:
-            self.counters.add(f"{level}_hits")
-            return latency
-        self.counters.add(f"{level}_misses")
-
-        latency += self._array_access(caches.l2, "l2", "read", cycle + latency, block)
-        l2_result = caches.l2.access(block, cycle + latency)
-        if l2_result.hit:
-            self.counters.add("l2_hits")
+        counts = self._counts
+        block = address & self._block_mask
+        if instruction:
+            l1 = caches.l1i
+            access_key, stall_key = "l1i_reads", "l1i_refresh_stall_cycles"
+            hit_key, miss_key, fill_key = "l1i_hits", "l1i_misses", "l1i_writes"
         else:
-            self.counters.add("l2_misses")
+            l1 = caches.l1d
+            access_key, stall_key = "l1d_reads", "l1d_refresh_stall_cycles"
+            hit_key, miss_key, fill_key = "l1d_hits", "l1d_misses", "l1d_writes"
+
+        latency = self._array_access(l1, access_key, stall_key, cycle, block)
+        if l1.access_index(block, cycle) >= 0:
+            counts[hit_key] += 1
+            return latency
+        counts[miss_key] += 1
+
+        l2 = caches.l2
+        latency += self._array_access(
+            l2, "l2_reads", "l2_refresh_stall_cycles", cycle + latency, block
+        )
+        if l2.access_index(block, cycle + latency) >= 0:
+            counts["l2_hits"] += 1
+        else:
+            counts["l2_misses"] += 1
             latency += self._fetch_into_l2(
                 core_id, block, cycle + latency, for_write=False
             )
-        # Fill the L1 (write into the L1 array).
-        latency += self._fill_l1(l1, level, block, cycle + latency)
+        # Fill the L1 (write into the L1 array); the victim is clean
+        # (write-through), so no eviction handling is needed.
+        l1.fill_block(block, MESI_SHARED, cycle + latency)
+        counts[fill_key] += 1
         return latency
-
-    def _fill_l1(self, l1: Cache, level: str, block: int, cycle: int) -> int:
-        """Install a block in an L1; the victim is clean (write-through)."""
-        victim = l1.choose_victim(block)
-        l1.fill(block, MESIState.SHARED, cycle, victim)
-        self.counters.add(f"{level}_writes")
-        return 0
 
     # ------------------------------------------------------------------
     # L2 miss handling (GetS / GetM at the directory)
@@ -272,18 +300,20 @@ class DirectoryProtocol:
         bank = self.home_bank(block)
         kind = MessageKind.WRITE_REQUEST if for_write else MessageKind.READ_REQUEST
         latency = self._count_message(kind, core_id, bank.vertex, data=False)
-        latency += self._array_access(bank.cache, "l3", "read", cycle + latency, block)
+        latency += self._array_access(
+            bank.cache, "l3_reads", "l3_refresh_stall_cycles", cycle + latency, block
+        )
 
-        l3_result = bank.cache.access(block, cycle + latency)
-        line = l3_result.line
-        if l3_result.hit:
-            self.counters.add("l3_hits")
+        l3_index = bank.cache.access_index(block, cycle + latency)
+        if l3_index >= 0:
+            self._counts["l3_hits"] += 1
+            line = bank.cache.view(l3_index)
             assert isinstance(line, DirectoryLine)
             latency += self._serve_from_l3(
                 core_id, bank, block, line, cycle, for_write
             )
         else:
-            self.counters.add("l3_misses")
+            self._counts["l3_misses"] += 1
             line = self._fill_l3_from_dram(bank, block, cycle + latency)
             latency += self.dram.access_cycles
             if for_write:
@@ -300,12 +330,13 @@ class DirectoryProtocol:
         )
 
         # Install in the L2, handling the inclusion victim.
-        victim = caches.l2.choose_victim(block)
-        if victim.was_valid:
-            self._handle_l2_eviction(core_id, victim, cycle + latency)
-        state = MESIState.EXCLUSIVE if granted_exclusive else MESIState.SHARED
-        caches.l2.fill(block, state, cycle + latency, victim)
-        self.counters.add("l2_writes")
+        l2 = caches.l2
+        victim_index = l2.choose_victim_index(block)
+        if l2.valid_at(victim_index):
+            self._handle_l2_eviction(core_id, victim_index, cycle + latency)
+        state_code = MESI_EXCLUSIVE if granted_exclusive else MESI_SHARED
+        l2.fill_index(victim_index, block, state_code, cycle + latency)
+        self._counts["l2_writes"] += 1
         return latency
 
     def _serve_from_l3(
@@ -339,7 +370,10 @@ class DirectoryProtocol:
             MessageKind.OWNER_FETCH, bank.vertex, owner, data=False
         )
         owner_caches = self.cores[owner]
-        latency += self._array_access(owner_caches.l2, "l2", "read", cycle + latency, block)
+        latency += self._array_access(
+            owner_caches.l2, "l2_reads", "l2_refresh_stall_cycles",
+            cycle + latency, block,
+        )
         owner_line = owner_caches.l2.probe(block)
         dirty = owner_line is not None and owner_line.state is MESIState.MODIFIED
         if owner_line is not None:
@@ -348,7 +382,10 @@ class DirectoryProtocol:
             latency += self._count_message(
                 MessageKind.WRITEBACK, owner, bank.vertex, data=True
             )
-            self._array_access(bank.cache, "l3", "write", cycle + latency, block)
+            self._array_access(
+                bank.cache, "l3_writes", "l3_refresh_stall_cycles",
+                cycle + latency, block,
+            )
             line.mark_dirty()
             line.refresh(cycle + latency)
         else:
@@ -389,7 +426,9 @@ class DirectoryProtocol:
         latency = self._count_message(
             MessageKind.UPGRADE_REQUEST, core_id, bank.vertex, data=False
         )
-        latency += self._array_access(bank.cache, "l3", "read", cycle + latency, block)
+        latency += self._array_access(
+            bank.cache, "l3_reads", "l3_refresh_stall_cycles", cycle + latency, block
+        )
         line = bank.cache.probe(block)
         if isinstance(line, DirectoryLine) and line.valid:
             line.touch(cycle + latency)
@@ -405,7 +444,9 @@ class DirectoryProtocol:
         """Send a dirty L2 line to its home bank (off the critical path)."""
         bank = self.home_bank(block)
         self._count_message(MessageKind.WRITEBACK, core_id, bank.vertex, data=True)
-        self._array_access(bank.cache, "l3", "write", cycle, block)
+        self._array_access(
+            bank.cache, "l3_writes", "l3_refresh_stall_cycles", cycle, block
+        )
         line = bank.cache.probe(block)
         if isinstance(line, DirectoryLine) and line.valid:
             line.mark_dirty()
@@ -428,13 +469,14 @@ class DirectoryProtocol:
             Directory.remove_core(line, core_id)
 
     def _handle_l2_eviction(
-        self, core_id: int, victim: EvictionResult, cycle: int
+        self, core_id: int, victim_index: int, cycle: int
     ) -> None:
         """Handle the displacement of a valid L2 line (inclusion with L1)."""
         caches = self.cores[core_id]
-        block = victim.block_address
-        self.counters.add("l2_evictions")
-        if victim.line.state is MESIState.MODIFIED:
+        l2 = caches.l2
+        block = l2.block_address_at(victim_index)
+        self._counts["l2_evictions"] += 1
+        if l2.dirty_at(victim_index):
             self._writeback_l2_to_l3(core_id, block, cycle)
         else:
             self._notify_clean_eviction(core_id, block, cycle)
@@ -454,7 +496,10 @@ class DirectoryProtocol:
                 latency += self._count_message(
                     MessageKind.WRITEBACK, core_id, bank.vertex, data=True
                 )
-                self._array_access(bank.cache, "l3", "write", cycle + latency, block)
+                self._array_access(
+                    bank.cache, "l3_writes", "l3_refresh_stall_cycles",
+                    cycle + latency, block,
+                )
                 line.mark_dirty()
                 line.refresh(cycle + latency)
             l2_line.invalidate()
@@ -498,23 +543,31 @@ class DirectoryProtocol:
     # ------------------------------------------------------------------
 
     def _array_access(
-        self, cache: Cache, level: str, kind: str, cycle: int, block: int = 0
+        self,
+        cache: Cache,
+        access_key: str,
+        stall_key: str,
+        cycle: int,
+        block: int = 0,
     ) -> int:
         """Charge one array access: energy counter plus latency.
 
         If the sub-array the block maps to (or the whole array) is busy with
         refresh work, the access waits until that work completes; the wait
-        is recorded as refresh stall cycles.
+        is recorded as refresh stall cycles.  ``cache.busy_horizon`` lets
+        the common unblocked case skip the wait computation entirely.
         """
-        self.counters.add(f"{level}_{kind}s")
-        wait = cache.wait_cycles(block, cycle)
-        if wait:
-            self.counters.add(f"{level}_refresh_stall_cycles", wait)
-        return wait + cache.geometry.access_cycles
+        self._counts[access_key] += 1
+        if cycle < cache.busy_horizon:
+            wait = cache.wait_cycles(block, cycle)
+            if wait:
+                self._counts[stall_key] += wait
+            return wait + cache.access_cycles
+        return cache.access_cycles
 
     def _count_message(self, kind: MessageKind, src: int, dst: int, data: bool) -> int:
         """Record one network message and return its latency."""
-        self.counters.add(kind.counter_name)
+        self._counts[self._msg_keys[kind]] += 1
         if data:
             return self.network.send_data(src, dst, self._line_bytes)
         return self.network.send_control(src, dst)

@@ -41,9 +41,11 @@ class RefrintSimulator:
         self,
         config: SimulationConfig,
         tables: Optional[TechnologyTables] = None,
+        cache_backend: str = "array",
     ) -> None:
         self.config = config
         self._tables = tables
+        self.cache_backend = cache_backend
 
     def run(self, application: ApplicationWorkload) -> SimulationResult:
         """Simulate the application and return the measured result."""
@@ -54,7 +56,7 @@ class RefrintSimulator:
                 f"has {architecture.num_cores} cores"
             )
 
-        hierarchy = CacheHierarchy(architecture)
+        hierarchy = CacheHierarchy(architecture, cache_backend=self.cache_backend)
         events = EventQueue()
         finished: List[int] = []
 
@@ -120,18 +122,10 @@ class RefrintSimulator:
 
         Refresh controllers keep rescheduling themselves indefinitely, so the
         loop terminates on core completion rather than on queue exhaustion.
+        The drain itself runs inside the event queue
+        (:meth:`~repro.utils.events.EventQueue.drain_until_count`) so each
+        event costs one heap pop and one callback, without re-dispatching
+        through the Optional-returning :meth:`~repro.utils.events.EventQueue.pop`
+        wrapper.
         """
-        executed = 0
-        while len(finished) < num_cores:
-            event = events.pop()
-            if event is None:
-                raise RuntimeError(
-                    "event queue drained before all cores finished; "
-                    "a core failed to schedule its next reference"
-                )
-            event.callback(event.time, event.payload)
-            executed += 1
-            if executed > MAX_EVENTS:
-                raise RuntimeError(
-                    "event limit exceeded; the simulation appears to be stuck"
-                )
+        events.drain_until_count(finished, num_cores, MAX_EVENTS)

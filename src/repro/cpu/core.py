@@ -85,6 +85,10 @@ class Core:
         self._instructions_since_ifetch = 0
         self._code_offset = 0
         self._line_bytes = hierarchy.architecture.line_bytes
+        self._counts = hierarchy.counters.raw
+        # Bound-method caches for the per-reference dispatch.
+        self._read = hierarchy.read
+        self._write = hierarchy.write
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -94,7 +98,7 @@ class Core:
             self._finish(cycle)
             return
         first_gap = self.trace[0].gap_instructions
-        self.events.schedule(cycle + first_gap, self._on_reference, payload=None)
+        self.events.schedule_callback(cycle + first_gap, self._on_reference)
         self.stats.busy_cycles += first_gap
         self._account_instructions(cycle, first_gap)
 
@@ -108,9 +112,9 @@ class Core:
     def _on_reference(self, cycle: int, _payload: Any) -> None:
         record = self.trace[self._next_index]
         if record.is_write:
-            latency = self.hierarchy.write(self.core_id, record.address, cycle)
+            latency = self._write(self.core_id, record.address, cycle)
         else:
-            latency = self.hierarchy.read(self.core_id, record.address, cycle)
+            latency = self._read(self.core_id, record.address, cycle)
         self.stats.references_completed += 1
         self.stats.busy_cycles += 1
         self.stats.stall_cycles += max(0, latency - 1)
@@ -125,7 +129,7 @@ class Core:
         self.stats.busy_cycles += gap
         issue_time = cycle + latency + gap
         self._account_instructions(cycle + latency, gap)
-        self.events.schedule(issue_time, self._on_reference, payload=None)
+        self.events.schedule_callback(issue_time, self._on_reference)
 
     # -- helpers ------------------------------------------------------------------
 
@@ -134,8 +138,9 @@ class Core:
         if count <= 0:
             return
         self.stats.instructions_executed += count
-        self.hierarchy.counters.add("l1i_reads", count)
-        self.hierarchy.counters.add("instructions", count)
+        counts = self._counts
+        counts["l1i_reads"] += count
+        counts["instructions"] += count
         self._instructions_since_ifetch += count
         while self._instructions_since_ifetch >= self.ifetch_interval:
             self._instructions_since_ifetch -= self.ifetch_interval

@@ -26,10 +26,18 @@ from repro.utils.statistics import Counter
 
 
 class CacheHierarchy:
-    """Private L1s/L2s, banked shared L3, torus NoC, DRAM and MESI directory."""
+    """Private L1s/L2s, banked shared L3, torus NoC, DRAM and MESI directory.
 
-    def __init__(self, architecture: ArchitectureConfig) -> None:
+    ``cache_backend`` selects the cache storage model: "array" (the default
+    struct-of-arrays fast path) or "object" (the original one-object-per-line
+    model, kept for equivalence checks and benchmarking).
+    """
+
+    def __init__(
+        self, architecture: ArchitectureConfig, cache_backend: str = "array"
+    ) -> None:
         self.architecture = architecture
+        self.cache_backend = cache_backend
         self.counters = Counter()
         self.topology = TorusTopology(
             width=architecture.mesh_width, height=architecture.mesh_height
@@ -44,11 +52,11 @@ class CacheHierarchy:
             access_cycles=architecture.dram_access_cycles, counters=self.counters
         )
         self.cores: List[CoreCaches] = [
-            CoreCaches(core_id, architecture)
+            CoreCaches(core_id, architecture, backend=cache_backend)
             for core_id in range(architecture.num_cores)
         ]
         self.banks: List[L3Bank] = [
-            L3Bank(bank_id, architecture, vertex=bank_id)
+            L3Bank(bank_id, architecture, vertex=bank_id, backend=cache_backend)
             for bank_id in range(architecture.num_l3_banks)
         ]
         self.protocol = DirectoryProtocol(

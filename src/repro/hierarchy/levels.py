@@ -6,7 +6,6 @@ from typing import Optional
 
 from repro.config.parameters import ArchitectureConfig
 from repro.mem.cache import Cache
-from repro.mem.line import DirectoryLine
 
 
 class CoreCaches:
@@ -17,11 +16,16 @@ class CoreCaches:
     dirty private data lives in the L2, which is write-back.
     """
 
-    def __init__(self, core_id: int, architecture: ArchitectureConfig) -> None:
+    def __init__(
+        self,
+        core_id: int,
+        architecture: ArchitectureConfig,
+        backend: str = "array",
+    ) -> None:
         self.core_id = core_id
-        self.l1i = Cache(architecture.l1i, name=f"l1i[{core_id}]")
-        self.l1d = Cache(architecture.l1d, name=f"l1d[{core_id}]")
-        self.l2 = Cache(architecture.l2, name=f"l2[{core_id}]")
+        self.l1i = Cache(architecture.l1i, name=f"l1i[{core_id}]", backend=backend)
+        self.l1d = Cache(architecture.l1d, name=f"l1d[{core_id}]", backend=backend)
+        self.l2 = Cache(architecture.l2, name=f"l2[{core_id}]", backend=backend)
 
     def invalidate_l1_copies(self, block_address: int) -> int:
         """Invalidate any L1 copy of a block (inclusion with the L2).
@@ -52,6 +56,7 @@ class L3Bank:
         bank_id: int,
         architecture: ArchitectureConfig,
         vertex: Optional[int] = None,
+        backend: str = "array",
     ) -> None:
         self.bank_id = bank_id
         self.vertex = vertex if vertex is not None else bank_id
@@ -59,10 +64,11 @@ class L3Bank:
         # with the bank-selection bits stripped from the block number.
         self.cache = Cache(
             architecture.l3_bank,
-            line_factory=DirectoryLine,
             name=f"l3[{bank_id}]",
             index_interleave=architecture.num_l3_banks,
             index_offset=bank_id,
+            backend=backend,
+            directory=True,
         )
 
     def __repr__(self) -> str:

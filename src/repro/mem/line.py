@@ -44,6 +44,25 @@ class L3State(enum.Enum):
     DIRTY = "D"
 
 
+# Integer state codes used by the struct-of-arrays cache backend and the
+# protocol's staged fast path.  The enum objects remain the public vocabulary
+# (line views translate in both directions); the codes exist so the hot path
+# can compare and store plain ints instead of enum members.
+
+MESI_INVALID, MESI_SHARED, MESI_EXCLUSIVE, MESI_MODIFIED = 0, 1, 2, 3
+L3_INVALID, L3_CLEAN, L3_DIRTY = 0, 1, 2
+
+#: Code -> enum member, indexable by the integer code.
+MESI_STATES: tuple = (
+    MESIState.INVALID, MESIState.SHARED, MESIState.EXCLUSIVE, MESIState.MODIFIED
+)
+L3_STATES: tuple = (L3State.INVALID, L3State.CLEAN, L3State.DIRTY)
+
+#: Enum member -> code.
+MESI_CODES = {state: code for code, state in enumerate(MESI_STATES)}
+L3_CODES = {state: code for code, state in enumerate(L3_STATES)}
+
+
 class CacheLine:
     """One line of a private cache.
 

@@ -60,11 +60,23 @@ class TorusNetwork:
         self.router_hop_cycles = router_hop_cycles
         self.link_hop_cycles = link_hop_cycles
         self.counters = counters if counters is not None else Counter()
+        self._counts = self.counters.raw
+        # The topology is static, so hop distances (and hence latencies) are
+        # precomputed once; a message send is then two table reads and three
+        # counter increments, with no per-message object.
+        vertices = range(topology.num_vertices)
+        self._hops = [
+            [topology.hop_distance(src, dst) for dst in vertices]
+            for src in vertices
+        ]
+        self._cycles_per_hop = router_hop_cycles + link_hop_cycles
+        self._control_flits = max(
+            1, -(-CONTROL_MESSAGE_BYTES // FLIT_BYTES)
+        )
 
     def latency(self, src: int, dst: int) -> int:
         """Cycles for a message from ``src`` to ``dst`` (0 if same vertex)."""
-        hops = self.topology.hop_distance(src, dst)
-        return hops * (self.router_hop_cycles + self.link_hop_cycles)
+        return self._hops[src][dst] * self._cycles_per_hop
 
     def send(self, message: NetworkMessage) -> int:
         """Account for one message and return its latency in cycles.
@@ -74,16 +86,23 @@ class TorusNetwork:
         message's flit count so larger (data-carrying) messages cost
         proportionally more energy.
         """
-        hops = self.topology.hop_distance(message.src, message.dst)
-        self.counters.add("network_messages")
-        self.counters.add("network_router_hops", hops * message.flits)
-        self.counters.add("network_link_hops", hops * message.flits)
-        return hops * (self.router_hop_cycles + self.link_hop_cycles)
+        return self._record(message.src, message.dst, message.flits)
 
     def send_control(self, src: int, dst: int) -> int:
         """Send a data-less (request/ack/invalidate) message."""
-        return self.send(NetworkMessage(src=src, dst=dst, payload_bytes=0))
+        return self._record(src, dst, self._control_flits)
 
     def send_data(self, src: int, dst: int, line_bytes: int) -> int:
         """Send a message carrying one cache line of data."""
-        return self.send(NetworkMessage(src=src, dst=dst, payload_bytes=line_bytes))
+        total_bytes = CONTROL_MESSAGE_BYTES + line_bytes
+        return self._record(src, dst, max(1, -(-total_bytes // FLIT_BYTES)))
+
+    def _record(self, src: int, dst: int, flits: int) -> int:
+        """Count one message of ``flits`` flits and return its latency."""
+        hops = self._hops[src][dst]
+        weighted = hops * flits
+        counts = self._counts
+        counts["network_messages"] += 1
+        counts["network_router_hops"] += weighted
+        counts["network_link_hops"] += weighted
+        return hops * self._cycles_per_hop

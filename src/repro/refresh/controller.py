@@ -28,7 +28,15 @@ from repro.config.parameters import RefreshConfig, SimulationConfig, TimingPolic
 from repro.hierarchy.hierarchy import CacheHierarchy
 from repro.mem.cache import Cache
 from repro.mem.line import CacheLine
-from repro.refresh.policies import DataPolicy, PolicyAction, make_data_policy
+from repro.refresh.policies import (
+    AllPolicy,
+    DataPolicy,
+    DirtyPolicy,
+    PolicyAction,
+    ValidPolicy,
+    WritebackPolicy,
+    make_data_policy,
+)
 from repro.utils.events import EventQueue
 from repro.utils.statistics import Counter
 
@@ -60,6 +68,30 @@ class RefreshController(abc.ABC):
         self._refresh_counter = f"{level}_refreshes"
         self._writeback_counter = f"{level}_policy_writebacks_total"
         self._invalidate_counter = f"{level}_policy_invalidations_total"
+        self._setup_policy_dispatch()
+
+    def _setup_policy_dispatch(self) -> None:
+        """Classify the data policy for the staged per-line fast path.
+
+        On the array backend, the overwhelmingly common refresh decision
+        (REFRESH under Valid/All, a Count decrement under WB(n, m)) is pure
+        index arithmetic; only write-backs and invalidations go through the
+        line views and the hierarchy entry points.  Exact types only: a
+        subclassed policy falls back to the generic per-line walk.
+        """
+        policy_type = type(self.policy)
+        if policy_type is AllPolicy:
+            self._policy_kind = "all"
+        elif policy_type is ValidPolicy:
+            self._policy_kind = "valid"
+        elif policy_type is DirtyPolicy:
+            self._policy_kind = "dirty"
+        elif policy_type is WritebackPolicy:
+            self._policy_kind = "wb"
+            self._dirty_budget = self.policy.dirty_refreshes
+            self._clean_budget = self.policy.clean_refreshes
+        else:
+            self._policy_kind = "custom"
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -98,6 +130,81 @@ class RefreshController(abc.ABC):
         if decision.new_count is not None:
             line.refresh_count = decision.new_count
         return action
+
+    def process_indices(self, indices: List[int], cycle: int) -> int:
+        """Apply the data policy to the lines at ``indices`` (all due).
+
+        The staged equivalent of calling :meth:`apply_policy` per line:
+        refresh decisions run as index arithmetic on the state vectors, and
+        only write-backs / invalidations materialise a view.  On the object
+        backend (``cache.arrays is None``) or for a plugged-in policy the
+        generic per-line walk is used instead.  Returns the number of lines
+        processed (non-SKIP actions).
+        """
+        cache = self.cache
+        kind = self._policy_kind
+        if not indices:
+            return 0
+        if cache.arrays is None or kind == "custom":
+            processed = 0
+            assoc = cache.geometry.associativity
+            for index in indices:
+                action = self.apply_policy(
+                    index // assoc, cache.view(index), cycle
+                )
+                if action is not PolicyAction.SKIP:
+                    processed += 1
+            return processed
+
+        retention = self.config.retention_cycles
+        counters = self.counters
+        if kind in ("valid", "all"):
+            violations = 0
+            for index in indices:
+                violations += cache.refresh_line_checked(index, cycle, retention)
+            counters.add(self._refresh_counter, len(indices))
+            if violations:
+                counters.add("decay_violations", violations)
+            return len(indices)
+
+        assoc = cache.geometry.associativity
+        processed = 0
+        refreshed = 0
+        violations = 0
+        if kind == "dirty":
+            for index in indices:
+                if cache.dirty_at(index):
+                    violations += cache.refresh_line_checked(index, cycle, retention)
+                    refreshed += 1
+                    processed += 1
+                else:
+                    action = self.apply_policy(
+                        index // assoc, cache.view(index), cycle
+                    )
+                    if action is not PolicyAction.SKIP:
+                        processed += 1
+        else:  # WB(n, m)
+            dirty_budget = self._dirty_budget
+            clean_budget = self._clean_budget
+            for index in indices:
+                tick = cache.wb_tick(
+                    index, cycle, retention, dirty_budget, clean_budget
+                )
+                if tick >= 0:
+                    violations += tick
+                    refreshed += 1
+                    processed += 1
+                else:
+                    action = self.apply_policy(
+                        index // assoc, cache.view(index), cycle
+                    )
+                    if action is not PolicyAction.SKIP:
+                        processed += 1
+        if refreshed:
+            counters.add(self._refresh_counter, refreshed)
+        if violations:
+            counters.add("decay_violations", violations)
+        return processed
 
     def _refresh_line(self, line: CacheLine, cycle: int) -> None:
         """Recharge one line's cells, with a decay sanity check."""

@@ -13,6 +13,12 @@ The data policy still decides what happens to each line in the group:
 Periodic-All refreshes everything (the naive baseline configuration),
 Periodic-Valid skips invalid lines, and Periodic-Dirty / Periodic-WB(n, m)
 invalidate or write back lines exactly as they do under Refrint timing.
+
+A refresh group is a contiguous range of line indices, so the All and Valid
+passes -- which touch no per-line policy state -- run as one slice operation
+over the cache's timestamp vectors (:meth:`~repro.mem.cache.Cache.bulk_refresh_range`)
+instead of a per-line object walk; only the per-line policies (Dirty,
+WB(n, m)) still visit their group's *valid* lines individually.
 """
 
 from __future__ import annotations
@@ -28,10 +34,18 @@ class PeriodicRefreshController(RefreshController):
 
     def start(self, cycle: int) -> None:
         """Stagger the groups' first passes across one retention period."""
+        self._pass_counter = f"{self.level}_periodic_passes"
+        # All and Valid act uniformly on (in)valid lines, so a whole group
+        # can be refreshed with slice operations; Dirty / WB need a per-line
+        # decision on every valid line.  Exact types only (the policy-kind
+        # classification from the base class): a subclassed policy must keep
+        # the generic every-line walk so its decide() overrides are honoured.
+        self._include_invalid = self._policy_kind == "all"
+        self._bulk_policy = self._policy_kind in ("all", "valid")
         num_groups = self.cache.geometry.num_refresh_groups
         stride = max(1, self.config.retention_cycles // num_groups)
         for group in range(num_groups):
-            self.events.schedule(
+            self.events.schedule_callback(
                 cycle + group * stride, self._on_group_event, payload=group
             )
 
@@ -45,8 +59,8 @@ class PeriodicRefreshController(RefreshController):
         if processed:
             busy_for = processed * self.config.refresh_cycles_per_line
             self.cache.block_group(group, cycle + busy_for)
-        self.counters.add(f"{self.level}_periodic_passes")
-        self.events.schedule(
+        self.counters.add(self._pass_counter)
+        self.events.schedule_callback(
             cycle + self.config.retention_cycles, self._on_group_event, payload=group
         )
 
@@ -57,9 +71,36 @@ class PeriodicRefreshController(RefreshController):
         (refresh, write back or invalidate); skipped lines cost no array
         time because nothing is read or written.
         """
-        processed = 0
-        for set_idx, line in self.cache.lines_in_refresh_group(group):
-            action = self.apply_policy(set_idx, line, cycle)
-            if action is not PolicyAction.SKIP:
-                processed += 1
-        return processed
+        start, end = self.cache.refresh_group_line_range(group)
+        if start >= end:
+            return 0
+        if self._policy_kind == "custom":
+            # A plugged-in policy: the original walk, every line of the
+            # group through decide() -- custom policies may act on invalid
+            # lines too, so no bulk stamping or valid-only filtering.
+            processed = 0
+            for set_idx, line in self.cache.lines_in_refresh_group(group):
+                action = self.apply_policy(set_idx, line, cycle)
+                if action is not PolicyAction.SKIP:
+                    processed += 1
+            return processed
+        if self._bulk_policy:
+            processed, violations = self.cache.bulk_refresh_range(
+                start, end, cycle, self.config.retention_cycles,
+                self._include_invalid,
+            )
+            if processed:
+                self.counters.add(self._refresh_counter, processed)
+            if violations:
+                # The controller failed to reach these lines before their
+                # retention ran out; counted so tests can assert it never
+                # happens.
+                self.counters.add("decay_violations", violations)
+            return processed
+        # Per-line policies: snapshot the valid lines, advance the refresh
+        # timestamp of the skipped (invalid) ones in bulk, then let the
+        # policy judge each valid line.
+        cache = self.cache
+        valid_indices = cache.valid_indices_in_range(start, end)
+        cache.stamp_invalid_range(start, end, cycle)
+        return self.process_indices(valid_indices, cycle)

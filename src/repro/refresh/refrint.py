@@ -22,80 +22,207 @@ rescheduled for the group's next earliest decay.  A line that was accessed
 (and therefore recharged) after the event was scheduled is simply not due
 yet and is picked up by a later event, so no per-access event cancellation
 is needed.
+
+A sentry group is a contiguous ``[start, end)`` range of line indices
+(mirroring the wired-OR of adjacent sentry outputs in hardware), so the
+"which lines have decayed" question and the "when does this group fire
+next" question are both answered by compares over the cache's last-refresh
+vector (:meth:`~repro.mem.cache.Cache.refresh_due_indices` /
+:meth:`~repro.mem.cache.Cache.min_last_refresh`) -- no per-line objects are
+touched until a line is actually due.
 """
 
 from __future__ import annotations
 
 from typing import Any, List, Tuple
 
-from repro.mem.line import CacheLine
 from repro.refresh.controller import RefreshController
 from repro.refresh.policies import AllPolicy, PolicyAction
-from repro.refresh.sentry import SentryBit, SentryGroup, build_sentry_groups
+from repro.refresh.sentry import SentryBit
 
 
 class RefrintRefreshController(RefreshController):
     """Sentry-bit-driven refresh of one cache array."""
 
     def start(self, cycle: int) -> None:
-        """Build the sentry groups and arm one lazy event per group."""
+        """Partition the lines into sentry groups and arm one lazy event each."""
         self._interrupt_counter = f"{self.level}_sentry_interrupts"
         self.sentry = SentryBit(
             retention_cycles=self.config.retention_cycles,
             margin_cycles=self.config.sentry_margin_cycles,
         )
-        lines: List[Tuple[int, CacheLine]] = list(self.cache.iter_lines())
-        self.groups = build_sentry_groups(
-            lines, self.cache.geometry.sentry_group_size, self.sentry
-        )
+        self._sentry_retention = self.sentry.sentry_retention_cycles
+        self._include_invalid = isinstance(self.policy, AllPolicy)
+        group_size = self.cache.geometry.sentry_group_size
+        num_lines = self.cache.num_lines
+        self.groups: List[Tuple[int, int]] = [
+            (start, min(start + group_size, num_lines))
+            for start in range(0, num_lines, group_size)
+        ]
+        # The single-pass handler fuses the due scan, the refresh ticks and
+        # the next-fire computation over the raw state vectors; the object
+        # backend and plugged-in policies keep the generic two-pass walk.
+        if self.cache.arrays is not None and self._policy_kind != "custom":
+            self._handler = self._on_group_interrupt_fast
+        else:
+            self._handler = self._on_group_interrupt
         # An empty cache has nothing due before one full sentry retention.
         for group in self.groups:
-            self.events.schedule(
-                cycle + self.sentry.sentry_retention_cycles,
-                self._on_group_interrupt,
+            self.events.schedule_callback(
+                cycle + self._sentry_retention,
+                self._handler,
                 payload=group,
             )
 
     # -- event handling --------------------------------------------------------
 
     def _on_group_interrupt(self, cycle: int, payload: Any) -> None:
-        group: SentryGroup = payload
-        include_invalid = self._refreshes_invalid_lines()
-        # The controller walks the group's lines (one per cycle through the
-        # priority encoder), but only lines whose Sentry bit has actually
-        # decayed need action -- a line accessed since the event was armed
+        start, end = payload
+        include_invalid = self._include_invalid
+        # The controller walks the group's due lines (one per cycle through
+        # the priority encoder); a line accessed since the event was armed
         # had its Sentry bit recharged and is simply not due yet.  This is
         # what makes Refrint cheaper than the eager periodic walk.
-        processed = 0
-        for set_idx, line in group.members:
-            if not line.valid and not include_invalid:
-                continue
-            if not self.sentry.has_fired(line, cycle):
-                continue
-            action = self.apply_policy(set_idx, line, cycle)
-            if action is not PolicyAction.SKIP:
-                processed += 1
+        due = self.cache.refresh_due_indices(
+            start, end, cycle - self._sentry_retention, include_invalid
+        )
+        processed = self.process_indices(due, cycle)
         if processed:
             self.block_array(cycle, processed)
             self.counters.add(self._interrupt_counter)
-        self._reschedule(group, cycle, include_invalid)
+        self._reschedule(payload, cycle, include_invalid)
+
+    def _on_group_interrupt_fast(self, cycle: int, payload: Any) -> None:
+        """Single-pass group interrupt over the state vectors (array backend).
+
+        One walk of ``[start, end)`` classifies every line: due lines take
+        their refresh tick in place (a timestamp store plus, for WB(n, m), a
+        Count decrement), lines needing a write-back or invalidation are
+        collected for the slow per-view path, and the earliest last-refresh
+        among the not-due lines is tracked for the reschedule -- so the
+        whole interrupt costs one loop of int compares instead of building
+        due lists and re-scanning for the next fire time.  Behaviour is
+        identical to :meth:`_on_group_interrupt`; the equivalence suite
+        pins the two paths against each other.
+        """
+        start, end = payload
+        arrays = self.cache.arrays
+        last_refresh = arrays.last_refresh_cycle
+        valid = arrays.valid
+        sentry_retention = self._sentry_retention
+        cutoff = cycle - sentry_retention
+        limit = cycle - self.config.retention_cycles
+        kind = self._policy_kind
+        processed = 0
+        refreshed = 0
+        violations = 0
+        slow = None
+        min_not_due = None
+        if kind == "wb":
+            counts = arrays.refresh_count
+            dirty = arrays.dirty
+            dirty_budget = self._dirty_budget
+            clean_budget = self._clean_budget
+            for i in range(start, end):
+                if not valid[i]:
+                    continue
+                stamp = last_refresh[i]
+                if stamp <= cutoff:
+                    count = counts[i]
+                    if count < 0:
+                        count = dirty_budget if dirty[i] else clean_budget
+                    if count >= 1:
+                        if stamp < limit:
+                            violations += 1
+                        last_refresh[i] = cycle
+                        counts[i] = count - 1
+                        refreshed += 1
+                    elif slow is None:
+                        slow = [i]
+                    else:
+                        slow.append(i)
+                elif min_not_due is None or stamp < min_not_due:
+                    min_not_due = stamp
+        elif kind == "dirty":
+            dirty = arrays.dirty
+            for i in range(start, end):
+                if not valid[i]:
+                    continue
+                stamp = last_refresh[i]
+                if stamp <= cutoff:
+                    if dirty[i]:
+                        if stamp < limit:
+                            violations += 1
+                        last_refresh[i] = cycle
+                        refreshed += 1
+                    elif slow is None:
+                        slow = [i]
+                    else:
+                        slow.append(i)
+                elif min_not_due is None or stamp < min_not_due:
+                    min_not_due = stamp
+        else:  # valid / all
+            include_invalid = self._include_invalid
+            for i in range(start, end):
+                if not valid[i] and not include_invalid:
+                    continue
+                stamp = last_refresh[i]
+                if stamp <= cutoff:
+                    if valid[i] and stamp < limit:
+                        violations += 1
+                    last_refresh[i] = cycle
+                    refreshed += 1
+                elif min_not_due is None or stamp < min_not_due:
+                    min_not_due = stamp
+        processed = refreshed
+        if slow:
+            cache = self.cache
+            assoc = cache.geometry.associativity
+            for i in slow:
+                action = self.apply_policy(i // assoc, cache.view(i), cycle)
+                if action is not PolicyAction.SKIP:
+                    processed += 1
+        if refreshed:
+            self.counters.add(self._refresh_counter, refreshed)
+        if violations:
+            self.counters.add("decay_violations", violations)
+        if processed:
+            self.block_array(cycle, processed)
+            self.counters.add(self._interrupt_counter)
+        # Reschedule: lines handled this pass carry last_refresh == cycle,
+        # i.e. exactly the horizon; only the not-due lines can fire earlier.
+        # The horizon cap matters even so: the protocol's functionally
+        # atomic transactions stamp lines at cycle + latency, so a not-due
+        # line's refresh timestamp can lie in the future.
+        horizon = cycle + sentry_retention
+        if min_not_due is None:
+            next_time = horizon
+        else:
+            next_time = min_not_due + sentry_retention
+            if next_time > horizon:
+                next_time = horizon
+            elif next_time <= cycle:
+                next_time = cycle + 1
+        self.events.schedule_callback(
+            next_time, self._on_group_interrupt_fast, payload=payload
+        )
 
     def _reschedule(
-        self, group: SentryGroup, cycle: int, include_invalid: bool
+        self, group: Tuple[int, int], cycle: int, include_invalid: bool
     ) -> None:
         """Arm the group's next event: its earliest future decay, capped at
         one sentry retention from now (so newly filled lines are never
         missed)."""
-        horizon = cycle + self.sentry.sentry_retention_cycles
-        earliest = horizon
-        for _, line in group.members:
-            if not line.valid and not include_invalid:
-                continue
-            fire = self.sentry.fire_time(line)
-            if fire < earliest:
-                earliest = fire
-        next_time = max(cycle + 1, min(earliest, horizon))
-        self.events.schedule(next_time, self._on_group_interrupt, payload=group)
+        horizon = cycle + self._sentry_retention
+        earliest_refresh = self.cache.min_last_refresh(
+            group[0], group[1], include_invalid
+        )
+        if earliest_refresh is None:
+            earliest = horizon
+        else:
+            earliest = min(earliest_refresh + self._sentry_retention, horizon)
+        next_time = max(cycle + 1, earliest)
+        self.events.schedule_callback(next_time, self._on_group_interrupt, payload=group)
 
     def _refreshes_invalid_lines(self) -> bool:
         """True when the data policy acts on invalid lines too (All only)."""

@@ -18,6 +18,12 @@ access.  Instead :class:`SentryBit` captures the *rule* (when would this
 line's sentry fire, given its last refresh?) and the Refrint controller uses
 lazy timers: an event that fires early simply reschedules itself to the
 correct time.
+
+:class:`SentryGroup` is the object-model reference of the grouping: the
+production controller tracks groups as contiguous ``[start, end)`` line
+ranges and evaluates the same decay rule with compares over the cache's
+last-refresh vector, so this class now serves the tests (and any external
+code) that reason about groups line-object by line-object.
 """
 
 from __future__ import annotations

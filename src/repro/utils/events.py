@@ -11,11 +11,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
@@ -25,14 +23,30 @@ class Event:
         callback: callable invoked as ``callback(time, payload)``.
         payload: arbitrary data handed back to the callback.
         cancelled: cancelled events are skipped when popped.
+
+    The heap itself is keyed by plain ``(time, seq, event)`` tuples, so
+    ordering is decided by C-level int comparisons and the event object
+    never needs rich-comparison methods -- with hundreds of thousands of
+    heap operations per simulation, Python-level ``__lt__`` dispatch was a
+    measurable share of the event loop.
     """
 
-    time: int
-    seq: int
-    callback: Callable[[int, Any], None] = field(compare=False)
-    payload: Any = field(default=None, compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
+    __slots__ = ("time", "seq", "callback", "payload", "cancelled", "queue")
+
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Callable[[int, Any], None],
+        payload: Any = None,
+        queue: Optional["EventQueue"] = None,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.payload = payload
+        self.cancelled = False
+        self.queue = queue
 
     def cancel(self) -> None:
         """Mark this event so the queue drops it instead of firing it."""
@@ -43,12 +57,25 @@ class Event:
             self.queue._note_cancelled()
             self.queue = None
 
+    def __repr__(self) -> str:
+        return (
+            f"Event(time={self.time}, seq={self.seq}, "
+            f"cancelled={self.cancelled})"
+        )
+
 
 class EventQueue:
-    """Priority queue of :class:`Event` ordered by (time, insertion order)."""
+    """Priority queue of events ordered by (time, insertion order).
+
+    Heap entries are ``(time, seq, callback, payload, handle)`` tuples;
+    ``handle`` is the :class:`Event` returned by :meth:`schedule` (so it can
+    be cancelled) or None for fire-and-forget entries pushed by
+    :meth:`schedule_callback`.  ``seq`` is unique, so tuple comparison never
+    reaches the non-comparable elements.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[Tuple] = []
         self._counter = itertools.count()
         self._now = 0
         self._live = 0
@@ -67,11 +94,6 @@ class EventQueue:
         """Called by :meth:`Event.cancel` when a tracked event is cancelled."""
         self._live -= 1
 
-    def _detach(self, event: Event) -> None:
-        """Stop tracking a popped live event (cancel() becomes a no-op)."""
-        self._live -= 1
-        event.queue = None
-
     def schedule(
         self,
         time: int,
@@ -87,13 +109,32 @@ class EventQueue:
             raise ValueError(
                 f"cannot schedule event at {time}, current time is {self._now}"
             )
-        event = Event(
-            time=time, seq=next(self._counter), callback=callback,
-            payload=payload, queue=self,
-        )
-        heapq.heappush(self._heap, event)
+        seq = next(self._counter)
+        event = Event(time, seq, callback, payload, queue=self)
+        heapq.heappush(self._heap, (time, seq, callback, payload, event))
         self._live += 1
         return event
+
+    def schedule_callback(
+        self,
+        time: int,
+        callback: Callable[[int, Any], None],
+        payload: Any = None,
+    ) -> None:
+        """Schedule a fire-and-forget callback (no cancellable handle).
+
+        The hot-path variant of :meth:`schedule` for producers that never
+        cancel (cores, refresh controllers): no :class:`Event` object is
+        allocated, the entry lives purely in the heap tuple.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at {time}, current time is {self._now}"
+            )
+        heapq.heappush(
+            self._heap, (time, next(self._counter), callback, payload, None)
+        )
+        self._live += 1
 
     def schedule_after(
         self,
@@ -113,13 +154,55 @@ class EventQueue:
         callers decide whether to invoke the callback.
         """
         while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+            time, seq, callback, payload, handle = heapq.heappop(self._heap)
+            if handle is None:
+                handle = Event(time, seq, callback, payload)
+            elif handle.cancelled:
                 continue
-            self._detach(event)
-            self._now = event.time
-            return event
+            else:
+                handle.queue = None
+            self._live -= 1
+            self._now = time
+            return handle
         return None
+
+    def drain_until_count(self, done: list, target: int, max_events: int) -> int:
+        """Execute events until ``done`` has grown to ``target`` entries.
+
+        This is the simulator's hot drain loop: callbacks append to ``done``
+        (one entry per finished core), and the loop runs with direct heap
+        access -- no per-event Optional wrapper, no re-dispatch through
+        :meth:`pop`.  Returns the number of events executed.
+
+        Raises:
+            RuntimeError: if the queue empties before ``done`` reaches
+                ``target``, or more than ``max_events`` events execute.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        executed = 0
+        while len(done) < target:
+            while True:
+                if not heap:
+                    raise RuntimeError(
+                        "event queue drained before the completion target was "
+                        "reached; a producer failed to schedule its next event"
+                    )
+                time, _, callback, payload, handle = pop(heap)
+                if handle is None:
+                    break
+                if not handle.cancelled:
+                    handle.queue = None
+                    break
+            self._live -= 1
+            self._now = time
+            callback(time, payload)
+            executed += 1
+            if executed > max_events:
+                raise RuntimeError(
+                    "event limit exceeded; the simulation appears to be stuck"
+                )
+        return executed
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Execute events in order.
@@ -136,16 +219,18 @@ class EventQueue:
         while self._heap:
             if max_events is not None and executed >= max_events:
                 break
-            event = self._heap[0]
-            if event.cancelled:
+            time, _, callback, payload, handle = self._heap[0]
+            if handle is not None and handle.cancelled:
                 heapq.heappop(self._heap)
                 continue
-            if until is not None and event.time > until:
+            if until is not None and time > until:
                 break
             heapq.heappop(self._heap)
-            self._detach(event)
-            self._now = event.time
-            event.callback(event.time, event.payload)
+            if handle is not None:
+                handle.queue = None
+            self._live -= 1
+            self._now = time
+            callback(time, payload)
             executed += 1
         return executed
 

@@ -26,6 +26,17 @@ class Counter:
         """Increment counter ``name`` by ``amount``."""
         self._counts[name] += amount
 
+    @property
+    def raw(self) -> Dict[str, int]:
+        """The live underlying defaultdict, for hot paths.
+
+        Incrementing ``counter.raw[key] += n`` skips one method call per
+        event, which matters on paths executed once per simulated memory
+        access.  Callers must treat it as write-mostly: reads should keep
+        going through :meth:`get` / indexing.
+        """
+        return self._counts
+
     def get(self, name: str) -> int:
         """Return the value of counter ``name`` (0 if never incremented)."""
         return self._counts.get(name, 0)

@@ -12,6 +12,7 @@ from repro.config.parameters import (
 from repro.hierarchy.hierarchy import CacheHierarchy
 from repro.refresh.controller import build_refresh_controllers, level_refresh_config
 from repro.refresh.periodic import PeriodicRefreshController
+from repro.refresh.policies import ValidPolicy
 from repro.refresh.refrint import RefrintRefreshController
 from repro.utils.events import EventQueue
 from tests.conftest import make_refresh_config
@@ -139,6 +140,59 @@ class TestPeriodicController:
         assert line is None or not line.valid
         assert hierarchy.counters["l3_policy_invalidations"] >= 1
         assert hierarchy.check_inclusion() == []
+
+
+class TestSubclassedPolicies:
+    """Plugged-in (subclassed) policies must keep the generic decide() walk.
+
+    The staged fast paths dispatch on exact policy types; a downstream
+    subclass with an overridden decide() has to see every line of a
+    periodic group (valid or not) and must not be routed through the bulk
+    slice path that never consults the policy.
+    """
+
+    class CountingValidPolicy(ValidPolicy):
+        def __init__(self):
+            self.calls = 0
+
+        def decide(self, line):
+            self.calls += 1
+            return super().decide(line)
+
+    def test_periodic_walk_consults_subclassed_policy_per_line(self, tiny_architecture):
+        from repro.hierarchy.hierarchy import CacheHierarchy
+        from repro.refresh.periodic import PeriodicRefreshController
+        from repro.utils.events import EventQueue
+
+        hierarchy = CacheHierarchy(tiny_architecture)
+        events = EventQueue()
+        bank = hierarchy.banks[0]
+        policy = self.CountingValidPolicy()
+        refresh = make_refresh_config(tiny_architecture, retention_cycles=400)
+        controller = PeriodicRefreshController(
+            "l3", 0, bank.cache, policy, refresh, hierarchy, events
+        )
+        assert controller._policy_kind == "custom"
+        controller.start(0)
+        events.run(until=399)
+        # One decide() per line per retention period, invalid lines included.
+        assert policy.calls == bank.cache.num_lines
+
+    def test_refrint_uses_generic_handler_for_subclassed_policy(self, tiny_architecture):
+        from repro.hierarchy.hierarchy import CacheHierarchy
+        from repro.refresh.refrint import RefrintRefreshController
+        from repro.utils.events import EventQueue
+
+        hierarchy = CacheHierarchy(tiny_architecture)
+        events = EventQueue()
+        bank = hierarchy.banks[0]
+        refresh = make_refresh_config(tiny_architecture, retention_cycles=400)
+        controller = RefrintRefreshController(
+            "l3", 0, bank.cache, self.CountingValidPolicy(), refresh,
+            hierarchy, events,
+        )
+        controller.start(0)
+        assert controller._handler == controller._on_group_interrupt
 
 
 class TestRefrintController:

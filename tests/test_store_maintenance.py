@@ -1,0 +1,173 @@
+"""Tests for the result-store maintenance tooling (ls / gc / verify)."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.campaign.jobs import Job
+from repro.campaign.maintenance import store_gc, store_ls, store_verify
+from repro.campaign.store import ResultStore
+from repro.cli import main as cli_main
+from repro.config.parameters import SimulationConfig
+from repro.core.results import SimulationResult
+from repro.energy.accounting import EnergyBreakdown
+from repro.workloads.suite import WorkloadRequest
+from tests.conftest import make_tiny_architecture
+
+
+def make_job(name: str = "fft") -> Job:
+    architecture = make_tiny_architecture()
+    return Job(
+        workload=WorkloadRequest(name, length_scale=0.1),
+        config=SimulationConfig.sram(architecture),
+    )
+
+
+def make_result(application: str = "fft") -> SimulationResult:
+    return SimulationResult(
+        config=None,
+        application=application,
+        execution_cycles=123,
+        busy_core_cycles=45,
+        counters={"l1d_hits": 7},
+        energy=EnergyBreakdown(
+            by_level={"l1": 1.0}, by_component={"dynamic": 1.0}, system={}
+        ),
+        per_core_finish_cycles=[123],
+        restored_label="SRAM",
+    )
+
+
+@pytest.fixture
+def populated_store(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    jobs = [make_job("fft"), make_job("barnes")]
+    for job in jobs:
+        store.put(job, make_result(job.application))
+    return store, jobs
+
+
+class TestScanAndLs:
+    def test_ls_lists_every_entry(self, populated_store):
+        store, jobs = populated_store
+        report = store_ls(store)
+        assert len(report.entries) == 2
+        assert all(entry.ok for entry in report.entries)
+        assert {entry.application for entry in report.entries} == {"fft", "barnes"}
+        assert {entry.key for entry in report.entries} == {j.key() for j in jobs}
+
+    def test_missing_directory_reports_empty(self, tmp_path):
+        report = store_ls(tmp_path / "nope")
+        assert report.entries == [] and report.orphans == []
+
+
+class TestVerify:
+    def test_intact_store_verifies(self, populated_store):
+        store, _ = populated_store
+        report = store_verify(store)
+        assert report.ok
+        assert not report.problems
+
+    def test_tampered_payload_fails_hash_check(self, populated_store):
+        store, jobs = populated_store
+        path = store.path_for(jobs[0].key())
+        data = json.loads(path.read_text())
+        data["hash_payload"]["workload"]["length_scale"] = 0.9
+        path.write_text(json.dumps(data))
+        report = store_verify(store)
+        assert len(report.problems) == 1
+        assert "content hash mismatch" in report.problems[0].problem
+
+    def test_renamed_entry_fails_key_check(self, populated_store):
+        store, jobs = populated_store
+        path = store.path_for(jobs[0].key())
+        path.rename(store.root / ("0" * 64 + ".json"))
+        report = store_verify(store)
+        assert len(report.problems) == 1
+        assert "does not match filename" in report.problems[0].problem
+
+    def test_corrupt_result_detected(self, populated_store):
+        store, jobs = populated_store
+        path = store.path_for(jobs[0].key())
+        data = json.loads(path.read_text())
+        del data["result"]["counters"]
+        path.write_text(json.dumps(data))
+        report = store_verify(store)
+        assert len(report.problems) == 1
+        assert "corrupt result" in report.problems[0].problem
+
+
+class TestGc:
+    def test_gc_removes_orphans_and_corrupt_entries(self, populated_store):
+        store, jobs = populated_store
+        orphan = store.root / ".deadbeef-1234.tmp"
+        orphan.write_text("partial write")
+        corrupt = store.root / ("f" * 64 + ".json")
+        corrupt.write_text("{not json")
+        report = store_gc(store)
+        assert not orphan.exists()
+        assert not corrupt.exists()
+        assert sorted(p.name for p in report.removed) == sorted(
+            [orphan.name, corrupt.name]
+        )
+        # The two healthy entries survive and still verify.
+        assert store_verify(store).ok
+
+    def test_gc_dry_run_removes_nothing(self, populated_store):
+        store, _ = populated_store
+        orphan = store.root / ".leftover.tmp"
+        orphan.write_text("x")
+        report = store_gc(store, dry_run=True)
+        assert orphan.exists()
+        assert [p.name for p in report.removed] == [orphan.name]
+
+    def test_gc_keeps_legacy_entries_without_hash_payload(self, populated_store):
+        store, jobs = populated_store
+        path = store.path_for(jobs[0].key())
+        data = json.loads(path.read_text())
+        del data["hash_payload"]
+        path.write_text(json.dumps(data))
+        store_gc(store)
+        assert path.exists()
+        # ...but verify flags them as unverifiable.
+        report = store_verify(store)
+        assert any("no hash payload" in e.problem for e in report.problems)
+
+
+class TestCli:
+    def run_cli(self, *argv):
+        out = io.StringIO()
+        code = cli_main(list(argv), out=out)
+        return code, out.getvalue()
+
+    def test_store_ls(self, populated_store):
+        store, _ = populated_store
+        code, text = self.run_cli("store", "ls", str(store.root))
+        assert code == 0
+        assert "2 entries" in text
+        assert "fft" in text and "barnes" in text
+
+    def test_store_verify_ok_and_failing(self, populated_store):
+        store, jobs = populated_store
+        code, text = self.run_cli("store", "verify", str(store.root))
+        assert code == 0 and "2 ok" in text
+        path = store.path_for(jobs[0].key())
+        path.write_text("garbage")
+        code, text = self.run_cli("store", "verify", str(store.root))
+        assert code == 1
+        assert "FAIL" in text
+
+    def test_store_gc(self, populated_store):
+        store, _ = populated_store
+        (store.root / ".junk.tmp").write_text("x")
+        code, text = self.run_cli("store", "gc", str(store.root))
+        assert code == 0
+        assert "removed 1 files" in text
+        assert not (store.root / ".junk.tmp").exists()
+
+    def test_store_missing_directory_errors(self, tmp_path):
+        code, _ = self.run_cli("store", "ls", str(tmp_path / "absent"))
+        assert code == 2
