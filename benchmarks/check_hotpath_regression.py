@@ -1,0 +1,120 @@
+"""Gate the freshly emitted hot-path benchmark point against the trajectory.
+
+Usage (the CI smoke job, after running ``test_hotpath.py`` with
+``REFRINT_HOTPATH_EMIT=1``)::
+
+    python benchmarks/check_hotpath_regression.py
+
+The script takes the *last* entry of ``BENCH_hotpath.json`` as the fresh
+measurement and the latest *earlier* entry with the same ``quick_mode``
+flag (i.e. the committed baseline) as the reference, then fails on a
+>10% regression of:
+
+* ``runahead.events_popped`` -- events popped per simulation.  This is a
+  pure function of the code and the workload, so any growth is a real
+  event-loop regression, not runner noise;
+* ``event_reduction`` -- the staged-vs-runahead event-count factor,
+  equally deterministic;
+* ``speedup`` / ``staged_speedup`` -- same-host wall-clock ratios
+  (object time over run-ahead / staged time), where machine speed cancels
+  out and only the relative cost of the fast paths remains.  These get a
+  wider band: even as a ratio, best-of-N wall clock on a shared runner
+  jitters far more than 10% (the absolute floor inside the benchmark test
+  itself still applies on top).
+
+Exits 0 when no committed baseline with a matching mode exists yet (first
+run of a new mode seeds the trajectory).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+#: Allowed relative regression of the deterministic event-count metrics.
+TOLERANCE = 0.10
+
+#: Allowed relative regression of the wall-clock speedup ratios.
+WALL_TOLERANCE = 0.30
+
+
+def main() -> int:
+    if not BENCH_FILE.exists():
+        print(f"no {BENCH_FILE.name}; nothing to check")
+        return 0
+    history = json.loads(BENCH_FILE.read_text())
+    if not isinstance(history, list) or len(history) < 2:
+        print("fewer than two trajectory points; nothing to compare")
+        return 0
+    fresh = history[-1]
+    baseline = next(
+        (
+            point
+            for point in reversed(history[:-1])
+            if point.get("quick_mode") == fresh.get("quick_mode")
+            and "runahead" in point
+        ),
+        None,
+    )
+    if baseline is None:
+        print("no committed baseline for this mode yet; seeding the trajectory")
+        return 0
+
+    failures = []
+
+    def require(name: str, fresh_value: float, baseline_value: float,
+                lower_is_better: bool, tolerance: float = TOLERANCE) -> None:
+        if baseline_value <= 0:
+            return
+        if lower_is_better:
+            limit = baseline_value * (1.0 + tolerance)
+            ok = fresh_value <= limit
+            direction = "<="
+        else:
+            limit = baseline_value * (1.0 - tolerance)
+            ok = fresh_value >= limit
+            direction = ">="
+        status = "ok" if ok else "REGRESSION"
+        print(
+            f"{name}: {fresh_value} (baseline {baseline_value}, "
+            f"require {direction} {limit:.3f}) {status}"
+        )
+        if not ok:
+            failures.append(name)
+
+    require(
+        "runahead.events_popped",
+        fresh["runahead"]["events_popped"],
+        baseline["runahead"]["events_popped"],
+        lower_is_better=True,
+    )
+    require(
+        "event_reduction",
+        fresh["event_reduction"],
+        baseline["event_reduction"],
+        lower_is_better=False,
+    )
+    require(
+        "speedup", fresh["speedup"], baseline["speedup"],
+        lower_is_better=False, tolerance=WALL_TOLERANCE,
+    )
+    require(
+        "staged_speedup",
+        fresh["staged_speedup"],
+        baseline["staged_speedup"],
+        lower_is_better=False,
+        tolerance=WALL_TOLERANCE,
+    )
+
+    if failures:
+        print(f"hot-path regression in: {', '.join(failures)}")
+        return 1
+    print("hot-path gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,25 +1,33 @@
-"""Old-vs-new hot-path benchmark: object backend versus array backend.
+"""Hot-path benchmark: object backend vs staged array path vs run-ahead.
 
 One single job -- the paper's headline configuration, Refrint with
-WB(32, 32) at 50 us retention -- is simulated through both cache backends.
-The object backend is the original one-object-per-line model (dataclass
-allocations and property chains on every access); the array backend is the
-struct-of-arrays staged path.  Both produce byte-identical results (pinned
-by ``tests/test_backend_equivalence.py``); this benchmark tracks the price
-of the old representation and gates against regressions of the new one.
+WB(32, 32) at 50 us retention -- is simulated three ways:
 
-Wall-clock and accesses-per-second (data references retired per second of
-host time) for both backends are appended as a trajectory point to
-``BENCH_hotpath.json`` in the repository root when ``REFRINT_HOTPATH_EMIT=1``
-is set (the CI smoke job sets it; plain test runs must not dirty the
-committed trajectory), so the speedup is visible over the project's
-history.
+* ``object``: the original one-object-per-line model replayed one heap
+  event per reference (the seed's configuration);
+* ``staged``: the struct-of-arrays staged path of PR 2, still replayed
+  per-reference through the event queue;
+* ``runahead``: the staged path driven by the run-ahead replay loop, with
+  refresh timers drained in bulk from the calendar queue.
+
+All three produce byte-identical results (pinned here and by
+``tests/test_backend_equivalence.py``).  Each variant records wall-clock,
+accesses-per-second and -- the structural metric the event-loop overhaul
+is about -- *events popped per simulation*, which is deterministic for a
+given code version and therefore comparable across machines.
+
+Results are appended as a trajectory point to ``BENCH_hotpath.json`` in
+the repository root when ``REFRINT_HOTPATH_EMIT=1`` is set (the CI smoke
+job sets it; plain test runs must not dirty the committed trajectory), so
+the speedup is visible over the project's history.  The file is always
+appended to, never overwritten.
 
 Quick mode (``REFRINT_HOTPATH_QUICK=1``, used by the CI smoke job) runs a
 shorter trace with a relaxed gate so shared-runner noise cannot flake the
-build; the full run asserts the refactor's >= 2x target.  The gate is a
-same-host ratio (best-of-N object time over best-of-N array time), so
-machine load cancels out of the comparison.
+build.  The wall-clock gates are same-host ratios (best-of-N over
+best-of-N), so machine load cancels out of the comparison; the event-count
+gate is exact.  ``benchmarks/check_hotpath_regression.py`` additionally
+compares the emitted point against the committed trajectory.
 """
 
 from __future__ import annotations
@@ -45,12 +53,25 @@ from repro.workloads.suite import build_application
 QUICK = os.environ.get("REFRINT_HOTPATH_QUICK", "") not in ("", "0")
 EMIT = os.environ.get("REFRINT_HOTPATH_EMIT", "") not in ("", "0")
 
-#: Trace length and required array-vs-object speedup per mode.
+#: Trace length and required run-ahead-vs-object speedup per mode.
 LENGTH_SCALE = 0.1 if QUICK else 0.3
 MIN_SPEEDUP = 1.2 if QUICK else 2.0
 
+#: Required event-count reduction of run-ahead replay over per-reference
+#: (staged) replay on this job.  Exact counts, no timing noise involved.
+MIN_EVENT_REDUCTION = 5.0
+
 #: Timing repetitions (best-of): absorbs scheduler noise on shared runners.
-ROUNDS = 2 if QUICK else 3
+#: Overridable for very noisy hosts, where more rounds give best-of a
+#: better chance of hitting an undisturbed slot.
+ROUNDS = int(os.environ.get("REFRINT_HOTPATH_ROUNDS", "0")) or (2 if QUICK else 3)
+
+#: The three measured variants: label -> (cache backend, replay mode).
+VARIANTS = {
+    "object": ("object", "event"),
+    "staged": ("array", "event"),
+    "runahead": ("array", "runahead"),
+}
 
 BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
 
@@ -77,17 +98,20 @@ def workload(config):
     )
 
 
-def _measure(config, workload, backend: str):
-    """Best-of-N wall-clock for one backend; returns (seconds, result)."""
+def _measure(config, workload, backend: str, replay: str):
+    """Best-of-N wall-clock for one variant; returns (seconds, result, stats)."""
     best = None
     result = None
+    stats = None
     for _ in range(ROUNDS):
+        simulator = RefrintSimulator(config, cache_backend=backend, replay=replay)
         start = time.perf_counter()
-        result = RefrintSimulator(config, cache_backend=backend).run(workload)
+        result = simulator.run(workload)
         elapsed = time.perf_counter() - start
+        stats = simulator.last_replay_stats
         if best is None or elapsed < best:
             best = elapsed
-    return best, result
+    return best, result, stats
 
 
 def _accesses(result) -> int:
@@ -108,13 +132,20 @@ def _append_trajectory_point(point: dict) -> None:
     BENCH_FILE.write_text(json.dumps(history, indent=2, sort_keys=True) + "\n")
 
 
-def test_hotpath_object_vs_array(config, workload):
-    object_seconds, object_result = _measure(config, workload, "object")
-    array_seconds, array_result = _measure(config, workload, "array")
+def test_hotpath_object_vs_staged_vs_runahead(config, workload):
+    measurements = {
+        label: _measure(config, workload, backend, replay)
+        for label, (backend, replay) in VARIANTS.items()
+    }
 
-    accesses = _accesses(array_result)
-    assert accesses == _accesses(object_result)
-    speedup = object_seconds / array_seconds
+    results = {label: m[1] for label, m in measurements.items()}
+    accesses = _accesses(results["runahead"])
+    canonical = {
+        label: json.dumps(result.to_dict(), sort_keys=True)
+        for label, result in results.items()
+    }
+    assert canonical["object"] == canonical["staged"] == canonical["runahead"]
+
     point = {
         "timestamp": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "quick_mode": QUICK,
@@ -122,22 +153,34 @@ def test_hotpath_object_vs_array(config, workload):
         "length_scale": LENGTH_SCALE,
         "config": config.label,
         "accesses": accesses,
-        "object": {
-            "wall_seconds": round(object_seconds, 4),
-            "accesses_per_second": round(accesses / object_seconds),
-        },
-        "array": {
-            "wall_seconds": round(array_seconds, 4),
-            "accesses_per_second": round(accesses / array_seconds),
-        },
-        "speedup": round(speedup, 3),
     }
+    for label, (seconds, _result, stats) in measurements.items():
+        point[label] = {
+            "wall_seconds": round(seconds, 4),
+            "accesses_per_second": round(accesses / seconds),
+            "events_popped": stats.events_popped,
+        }
+    speedup = measurements["object"][0] / measurements["runahead"][0]
+    event_reduction = (
+        measurements["staged"][2].events_popped
+        / max(1, measurements["runahead"][2].events_popped)
+    )
+    point["speedup"] = round(speedup, 3)
+    point["staged_speedup"] = round(
+        measurements["object"][0] / measurements["staged"][0], 3
+    )
+    point["event_reduction"] = round(event_reduction, 2)
     if EMIT:
         _append_trajectory_point(point)
 
-    assert array_result.execution_cycles == object_result.execution_cycles
+    assert event_reduction >= MIN_EVENT_REDUCTION, (
+        f"run-ahead replay only cut events by {event_reduction:.1f}x "
+        f"(staged {measurements['staged'][2].events_popped}, "
+        f"runahead {measurements['runahead'][2].events_popped}; "
+        f"required {MIN_EVENT_REDUCTION}x)"
+    )
     assert speedup >= MIN_SPEEDUP, (
-        f"array backend only {speedup:.2f}x faster than the object backend "
-        f"(required {MIN_SPEEDUP}x; object {object_seconds:.3f}s, "
-        f"array {array_seconds:.3f}s)"
+        f"run-ahead path only {speedup:.2f}x faster than the object backend "
+        f"(required {MIN_SPEEDUP}x; object {measurements['object'][0]:.3f}s, "
+        f"runahead {measurements['runahead'][0]:.3f}s)"
     )

@@ -60,6 +60,44 @@ def execute_job(job: Job) -> SimulationResult:
     return RefrintSimulator(job.config).run(build_workload(job))
 
 
+def execute_job_batch(jobs: Sequence[Job]) -> "list[SimulationResult]":
+    """Run a batch of jobs in one worker (all sharing one workload key).
+
+    Batches are formed by :func:`batch_jobs_by_workload`, so the first job
+    regenerates (or finds cached) the batch's trace and the rest reuse it
+    -- the worker-side memoisation that keeps a many-point sweep from
+    rebuilding the same application's trace once per point.
+    """
+    return [execute_job(job) for job in jobs]
+
+
+def batch_jobs_by_workload(
+    jobs: Sequence[Job], max_workers: int
+) -> "list[list[Job]]":
+    """Group jobs by workload so each batch regenerates one trace at most.
+
+    Jobs sharing a (workload recipe, architecture) key land in the same
+    batch -- the expensive part of a job's setup is the seeded trace
+    regeneration, which is identical for every point of one application.
+    Large groups are split into up to ``max_workers`` batches so a
+    single-application campaign still spreads over the whole pool; the
+    submission order of jobs within a group is preserved.
+    """
+    grouped: "OrderedDict[Tuple[WorkloadRequest, ArchitectureConfig], list[Job]]" = (
+        OrderedDict()
+    )
+    for job in jobs:
+        grouped.setdefault((job.workload, job.config.architecture), []).append(job)
+    batches: "list[list[Job]]" = []
+    for group in grouped.values():
+        num_batches = min(max_workers, len(group))
+        size = -(-len(group) // num_batches)  # ceil division
+        batches.extend(
+            group[start:start + size] for start in range(0, len(group), size)
+        )
+    return batches
+
+
 class SerialExecutor:
     """Run campaign jobs one after another in the calling process."""
 
@@ -113,18 +151,24 @@ class ParallelExecutor:
     ) -> Iterator[Tuple[Job, SimulationResult]]:
         """Yield ``(job, result)`` in completion order.
 
-        All jobs are submitted up front and the pool assigns them to
-        whichever worker frees up, so each worker may rebuild several
-        applications' traces (bounded by its per-process workload cache);
-        regeneration cost is small relative to simulation cost.
+        Jobs are submitted as per-workload batches
+        (:func:`batch_jobs_by_workload`): a worker regenerates a batch's
+        trace once and runs every point of the batch against it, instead of
+        pulling arbitrary jobs and thrashing its workload cache when a
+        campaign interleaves more applications than the cache holds.
         """
+        batches = batch_jobs_by_workload(jobs, self.max_workers)
         with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            future_to_job = {pool.submit(execute_job, job): job for job in jobs}
-            pending = set(future_to_job)
+            future_to_batch = {
+                pool.submit(execute_job_batch, batch): batch for batch in batches
+            }
+            pending = set(future_to_batch)
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    job = future_to_job[future]
-                    if progress is not None:
-                        progress(f"{job.application}: {job.label}")
-                    yield job, future.result()
+                    batch = future_to_batch[future]
+                    results = future.result()
+                    for job, result in zip(batch, results):
+                        if progress is not None:
+                            progress(f"{job.application}: {job.label}")
+                        yield job, result

@@ -2,9 +2,12 @@
 
 :class:`RefrintSimulator` assembles one complete simulation point: the cache
 hierarchy, the trace-replay cores, the refresh controllers (for eDRAM
-configurations) and the energy model, runs the event loop until every core
-drains its trace, performs the end-of-run dirty flush, and returns a
-:class:`~repro.core.results.SimulationResult`.
+configurations) and the energy model, drives the replay loop until every
+core drains its trace, performs the end-of-run dirty flush, and returns a
+:class:`~repro.core.results.SimulationResult`.  ``replay`` selects the
+loop: "runahead" (the default) executes references inline between refresh
+disturbances, "event" replays one heap callback per reference; both give
+byte-identical results.
 
 Typical use::
 
@@ -17,6 +20,8 @@ Typical use::
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from heapq import heappop, heappush, heapreplace
 from typing import List, Optional
 
 from repro.config.parameters import SimulationConfig
@@ -33,6 +38,29 @@ from repro.workloads.suite import ApplicationWorkload
 #: if a configuration error were to keep cores from finishing.
 MAX_EVENTS = 200_000_000
 
+#: Replay modes: "runahead" executes core references inline, yielding to the
+#: event queue only when a refresh timer or another core's reference comes
+#: first; "event" is the classic one-heap-callback-per-reference loop.  Both
+#: produce byte-identical results (pinned by tests/test_backend_equivalence.py).
+REPLAY_MODES = ("runahead", "event")
+
+
+@dataclass(frozen=True)
+class ReplayStats:
+    """Event-loop traffic of one simulation run.
+
+    Attributes:
+        events_popped: events executed through the queue's heap.  Under
+            run-ahead replay this is refresh-wheel drains (plus nothing
+            else); under event replay it additionally counts one callback
+            per core reference.
+        references: data references executed by the cores (identical across
+            replay modes; they are inlined, not queued, under run-ahead).
+    """
+
+    events_popped: int
+    references: int
+
 
 class RefrintSimulator:
     """Run one configuration point against one application workload."""
@@ -42,10 +70,18 @@ class RefrintSimulator:
         config: SimulationConfig,
         tables: Optional[TechnologyTables] = None,
         cache_backend: str = "array",
+        replay: str = "runahead",
     ) -> None:
+        if replay not in REPLAY_MODES:
+            raise ValueError(
+                f"unknown replay mode {replay!r}; expected one of {REPLAY_MODES}"
+            )
         self.config = config
         self._tables = tables
         self.cache_backend = cache_backend
+        self.replay = replay
+        #: Event-loop statistics of the most recent :meth:`run`.
+        self.last_replay_stats: Optional[ReplayStats] = None
 
     def run(self, application: ApplicationWorkload) -> SimulationResult:
         """Simulate the application and return the measured result."""
@@ -77,10 +113,17 @@ class RefrintSimulator:
         controllers = build_refresh_controllers(hierarchy, self.config, events)
         for controller in controllers:
             controller.start(0)
-        for core in cores:
-            core.start(0)
 
-        self._run_event_loop(events, finished, len(cores))
+        if self.replay == "event":
+            for core in cores:
+                core.start(0)
+            self._run_event_loop(events, finished, len(cores))
+        else:
+            self._run_ahead(events, cores, finished)
+        self.last_replay_stats = ReplayStats(
+            events_popped=events.popped_events,
+            references=sum(core.stats.references_completed for core in cores),
+        )
 
         execution_cycles = max(
             core.stats.finish_cycle or events.now for core in cores
@@ -129,3 +172,86 @@ class RefrintSimulator:
         wrapper.
         """
         events.drain_until_count(finished, num_cores, MAX_EVENTS)
+
+    @staticmethod
+    def _run_ahead(
+        events: EventQueue, cores: List[Core], finished: List[int]
+    ) -> None:
+        """Execute references back-to-back, bypassing the heap entirely.
+
+        Per-reference event replay pays one heap push and one pop per data
+        reference just to discover what was already known when the previous
+        reference completed: *which* core issues next and *when*.  Here the
+        pending issue times live in a 16-entry ready list instead, and a
+        core executes references in a tight loop up to its *horizon* -- the
+        earlier of the next refresh-wheel deadline
+        (:meth:`~repro.hierarchy.hierarchy.CacheHierarchy.next_disturbance_cycle`,
+        i.e. the queue's next event) and the next other core's issue time.
+
+        Ordering -- and therefore every counter, stall and eviction -- is
+        byte-identical to event replay: references execute in the exact
+        (time, seq) order the heap would have produced, because each
+        reference still claims a sequence number from the queue's shared
+        counter at the same point event replay would have scheduled its
+        callback.
+        """
+        # Direct heap / counter access, same rationale as
+        # EventQueue.drain_until_count: this loop runs once per data
+        # reference and cannot afford wrapper dispatch.
+        heap = events._heap
+        counter = events._counter
+        run_until_key = events.run_until_key
+        ready: List = []  # (issue time, seq, core) -- seq unique, so the
+        for core in cores:  # core object is never compared.
+            issue_time = core.begin(0)
+            if issue_time is not None:
+                heappush(ready, (issue_time, next(counter), core))
+        target = len(cores)
+        executed = 0
+        while len(finished) < target:
+            if not ready:
+                raise RuntimeError(
+                    "all pending references drained before every core "
+                    "finished; a core failed to report its next reference"
+                )
+            time, seq, core = ready[0]
+            # Let refresh timers ordered before this reference fire first.
+            # (A cancelled entry at the top is handled the same as a live
+            # one here: treating its key as a horizon just ends the batch
+            # early, and run_until_key discards it on the next pass.)
+            if heap:
+                head = heap[0]
+                if head[0] < time or (head[0] == time and head[1] < seq):
+                    executed += run_until_key(time, seq)
+                    if executed > MAX_EVENTS:
+                        raise RuntimeError(
+                            "event limit exceeded; the simulation appears "
+                            "to be stuck"
+                        )
+            # Horizon: the earliest of the next queue event (the refresh
+            # wheel's next disturbance) and the next reference of any
+            # *other* core.  Up to there this core runs free.  A freshly
+            # claimed seq always exceeds the horizon entry's, so comparing
+            # times alone is exact.
+            horizon = heap[0][0] if heap else None
+            if len(ready) > 1:
+                second = ready[1]
+                if len(ready) > 2 and ready[2] < second:
+                    second = ready[2]
+                if horizon is None or second[0] < horizon:
+                    horizon = second[0]
+            # The clock only needs to be current when queue callbacks run,
+            # and none run inside the batch; one forward store per batch
+            # suffices (run_until_key above never leaves _now past `time`).
+            events._now = time
+            step = core.step
+            while True:
+                next_time = step(time)
+                if next_time is None:
+                    heappop(ready)
+                    break
+                next_seq = next(counter)
+                if horizon is not None and next_time >= horizon:
+                    heapreplace(ready, (next_time, next_seq, core))
+                    break
+                time = next_time

@@ -89,18 +89,38 @@ class Core:
         # Bound-method caches for the per-reference dispatch.
         self._read = hierarchy.read
         self._write = hierarchy.write
+        # The trace unpacked into parallel field lists: the replay loop runs
+        # once per reference and a plain list index is several times cheaper
+        # than TraceStream.__getitem__ plus dataclass attribute and property
+        # lookups on every record.
+        self._num_records = len(trace)
+        self._addresses = [record.address for record in trace]
+        self._is_write = [record.is_write for record in trace]
+        self._gaps = [record.gap_instructions for record in trace]
 
     # -- lifecycle -------------------------------------------------------------
 
     def start(self, cycle: int) -> None:
-        """Schedule the core's first reference at ``cycle``."""
-        if len(self.trace) == 0:
+        """Schedule the core's first reference at ``cycle`` (event replay)."""
+        issue_time = self.begin(cycle)
+        if issue_time is not None:
+            self.events.schedule_callback(issue_time, self._on_reference)
+
+    def begin(self, cycle: int) -> Optional[int]:
+        """Charge the leading instruction gap; return the first issue time.
+
+        Returns None when the trace is empty (the core finishes on the
+        spot).  Both replay modes call this; only the event mode then puts a
+        callback on the queue, the run-ahead driver keeps the issue time in
+        its own ready list.
+        """
+        if self._num_records == 0:
             self._finish(cycle)
-            return
-        first_gap = self.trace[0].gap_instructions
-        self.events.schedule_callback(cycle + first_gap, self._on_reference)
+            return None
+        first_gap = self._gaps[0]
         self.stats.busy_cycles += first_gap
         self._account_instructions(cycle, first_gap)
+        return cycle + first_gap
 
     @property
     def finished(self) -> bool:
@@ -109,27 +129,40 @@ class Core:
 
     # -- event handling ---------------------------------------------------------
 
-    def _on_reference(self, cycle: int, _payload: Any) -> None:
-        record = self.trace[self._next_index]
-        if record.is_write:
-            latency = self._write(self.core_id, record.address, cycle)
+    def step(self, cycle: int) -> Optional[int]:
+        """Execute the reference issued at ``cycle``; return the next issue time.
+
+        This is the per-reference body shared by both replay modes.  Returns
+        None when the trace is drained (the core finishes at completion of
+        this reference).
+        """
+        index = self._next_index
+        if self._is_write[index]:
+            latency = self._write(self.core_id, self._addresses[index], cycle)
         else:
-            latency = self._read(self.core_id, record.address, cycle)
-        self.stats.references_completed += 1
-        self.stats.busy_cycles += 1
-        self.stats.stall_cycles += max(0, latency - 1)
-        self._next_index += 1
+            latency = self._read(self.core_id, self._addresses[index], cycle)
+        stats = self.stats
+        stats.references_completed += 1
+        stats.busy_cycles += 1
+        if latency > 1:
+            stats.stall_cycles += latency - 1
+        index += 1
+        self._next_index = index
 
-        if self._next_index >= len(self.trace):
+        if index >= self._num_records:
             self._finish(cycle + latency)
-            return
+            return None
 
-        next_record = self.trace[self._next_index]
-        gap = next_record.gap_instructions
-        self.stats.busy_cycles += gap
+        gap = self._gaps[index]
+        stats.busy_cycles += gap
         issue_time = cycle + latency + gap
         self._account_instructions(cycle + latency, gap)
-        self.events.schedule_callback(issue_time, self._on_reference)
+        return issue_time
+
+    def _on_reference(self, cycle: int, _payload: Any) -> None:
+        issue_time = self.step(cycle)
+        if issue_time is not None:
+            self.events.schedule_callback(issue_time, self._on_reference)
 
     # -- helpers ------------------------------------------------------------------
 

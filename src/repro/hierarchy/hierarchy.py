@@ -13,7 +13,7 @@ energy model applied afterwards.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.coherence.protocol import DirectoryProtocol
 from repro.config.parameters import ArchitectureConfig
@@ -29,8 +29,10 @@ class CacheHierarchy:
     """Private L1s/L2s, banked shared L3, torus NoC, DRAM and MESI directory.
 
     ``cache_backend`` selects the cache storage model: "array" (the default
-    struct-of-arrays fast path) or "object" (the original one-object-per-line
-    model, kept for equivalence checks and benchmarking).
+    struct-of-arrays fast path), "numpy" (the same layout on int64
+    ndarrays, vectorising the refresh sweeps; requires numpy) or "object"
+    (the original one-object-per-line model, kept for equivalence checks
+    and benchmarking).
     """
 
     def __init__(
@@ -67,6 +69,10 @@ class CacheHierarchy:
             dram=self.dram,
             counters=self.counters,
         )
+        # Set by build_refresh_controllers on eDRAM configurations: the
+        # shared calendar queue all refresh timers drain from.  None for the
+        # SRAM baseline (no refresh, no disturbances).
+        self.refresh_wheel = None
 
     # -- core-facing operations ---------------------------------------------
 
@@ -87,6 +93,18 @@ class CacheHierarchy:
         self.protocol.flush_dirty(cycle)
 
     # -- refresh-subsystem hooks ----------------------------------------------
+
+    def next_disturbance_cycle(self) -> Optional[int]:
+        """Earliest future cycle at which refresh work touches an array.
+
+        A trace-replay core may execute references back-to-back up to this
+        horizon without a refresh pass (blocking, write-backs, policy
+        invalidations) interleaving.  None when the configuration has no
+        refresh subsystem (SRAM) or no timer is pending.
+        """
+        if self.refresh_wheel is None:
+            return None
+        return self.refresh_wheel.next_deadline()
 
     def all_caches(self) -> Iterator[Tuple[str, int, Cache]]:
         """Yield (level, instance id, cache) for every array on the chip.

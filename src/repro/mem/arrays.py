@@ -31,6 +31,14 @@ from __future__ import annotations
 
 from typing import List, Optional, Set
 
+try:  # numpy is an optional accelerator, never a hard dependency.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
+#: True when the optional numpy backing (``backing="numpy"``) is available.
+HAVE_NUMPY = _np is not None
+
 from repro.mem.line import (
     CacheLine,
     DirectoryLine,
@@ -50,36 +58,71 @@ class LineArrays:
 
     ``tag == -1``, ``refresh_count == -1`` and ``owner == -1`` encode the
     object model's ``None``.  Directory-only vectors (``l3_state``,
-    ``sharers``, ``owner``) are ``None`` for private caches.
+    ``sharers``, ``owner``) are ``None`` for private caches (``sharers``
+    is always a plain list of Python sets; only the integer vectors have a
+    numpy form).
+
+    ``backing`` selects the vector representation: ``"list"`` (the default)
+    keeps plain Python lists, whose single-element reads dominate the
+    per-access staged path and are ~3x faster than numpy's; ``"numpy"``
+    stores the integer fields as int64 ndarrays so the periodic group
+    sweeps and the Refrint interrupt scan become masked compares and bulk
+    timestamp rewrites -- worthwhile once refresh work on paper-sized
+    geometries outweighs the per-access penalty.  Both backings hold
+    exactly the same values (int64 covers every cycle count and tag the
+    simulator can produce), so simulation results are byte-identical.
     """
 
     __slots__ = (
-        "num_lines", "directory",
+        "num_lines", "directory", "backing",
         "tag", "state", "valid", "dirty",
         "last_access_cycle", "last_refresh_cycle",
-        "refresh_count", "lru_stamp", "sentry_event_time",
+        "refresh_count", "lru_stamp",
         "l3_state", "sharers", "owner",
     )
 
-    def __init__(self, num_lines: int, directory: bool = False) -> None:
+    def __init__(
+        self, num_lines: int, directory: bool = False, backing: str = "list"
+    ) -> None:
         if num_lines < 1:
             raise ValueError("a cache needs at least one line")
+        if backing not in ("list", "numpy"):
+            raise ValueError(f"unknown array backing {backing!r}")
+        if backing == "numpy" and _np is None:
+            raise RuntimeError(
+                "backing='numpy' requested but numpy is not installed; "
+                "use the default list backing instead"
+            )
         n = num_lines
         self.num_lines = n
         self.directory = directory
-        self.tag: List[int] = [-1] * n
-        self.state: List[int] = [0] * n
-        self.valid: List[int] = [0] * n
-        self.dirty: List[int] = [0] * n
-        self.last_access_cycle: List[int] = [0] * n
-        self.last_refresh_cycle: List[int] = [0] * n
-        self.refresh_count: List[int] = [-1] * n
-        self.lru_stamp: List[int] = [0] * n
-        self.sentry_event_time: List[Optional[int]] = [None] * n
+        self.backing = backing
+        if backing == "numpy":
+            self.tag = _np.full(n, -1, dtype=_np.int64)
+            self.state = _np.zeros(n, dtype=_np.int64)
+            self.valid = _np.zeros(n, dtype=_np.int64)
+            self.dirty = _np.zeros(n, dtype=_np.int64)
+            self.last_access_cycle = _np.zeros(n, dtype=_np.int64)
+            self.last_refresh_cycle = _np.zeros(n, dtype=_np.int64)
+            self.refresh_count = _np.full(n, -1, dtype=_np.int64)
+            self.lru_stamp = _np.zeros(n, dtype=_np.int64)
+        else:
+            self.tag: List[int] = [-1] * n
+            self.state: List[int] = [0] * n
+            self.valid: List[int] = [0] * n
+            self.dirty: List[int] = [0] * n
+            self.last_access_cycle: List[int] = [0] * n
+            self.last_refresh_cycle: List[int] = [0] * n
+            self.refresh_count: List[int] = [-1] * n
+            self.lru_stamp: List[int] = [0] * n
         if directory:
-            self.l3_state: Optional[List[int]] = [0] * n
+            if backing == "numpy":
+                self.l3_state = _np.zeros(n, dtype=_np.int64)
+                self.owner = _np.full(n, -1, dtype=_np.int64)
+            else:
+                self.l3_state: Optional[List[int]] = [0] * n
+                self.owner: Optional[List[int]] = [-1] * n
             self.sharers: Optional[List[Set[int]]] = [set() for _ in range(n)]
-            self.owner: Optional[List[int]] = [-1] * n
         else:
             self.l3_state = None
             self.sharers = None
@@ -111,8 +154,10 @@ class _ArrayLineFields:
 
     @property
     def tag(self) -> Optional[int]:
+        # int() keeps numpy scalars from leaking into reconstructed block
+        # addresses (a no-op for the list backing).
         value = self._arrays.tag[self._index]
-        return None if value < 0 else value
+        return None if value < 0 else int(value)
 
     @tag.setter
     def tag(self, value: Optional[int]) -> None:
@@ -149,7 +194,7 @@ class _ArrayLineFields:
     @property
     def refresh_count(self) -> Optional[int]:
         value = self._arrays.refresh_count[self._index]
-        return None if value < 0 else value
+        return None if value < 0 else int(value)
 
     @refresh_count.setter
     def refresh_count(self, value: Optional[int]) -> None:
@@ -162,14 +207,6 @@ class _ArrayLineFields:
     @lru_stamp.setter
     def lru_stamp(self, value: int) -> None:
         self._arrays.lru_stamp[self._index] = value
-
-    @property
-    def sentry_event_time(self) -> Optional[int]:
-        return self._arrays.sentry_event_time[self._index]
-
-    @sentry_event_time.setter
-    def sentry_event_time(self, value: Optional[int]) -> None:
-        self._arrays.sentry_event_time[self._index] = value
 
     # -- predicates read the derived vectors directly ------------------------
 
@@ -240,7 +277,7 @@ class ArrayDirectoryLine(_ArrayLineFields, DirectoryLine):
     @property
     def owner(self) -> Optional[int]:
         value = self._arrays.owner[self._index]
-        return None if value < 0 else value
+        return None if value < 0 else int(value)
 
     @owner.setter
     def owner(self, value: Optional[int]) -> None:

@@ -85,7 +85,6 @@ class CacheLine:
         "last_refresh_cycle",
         "refresh_count",
         "lru_stamp",
-        "sentry_event_time",
     )
 
     def __init__(self) -> None:
@@ -95,11 +94,6 @@ class CacheLine:
         self.last_refresh_cycle: int = 0
         self.refresh_count: Optional[int] = None
         self.lru_stamp: int = 0
-        # Cycle at which the currently scheduled sentry event will fire, or
-        # None when no event is pending.  Used by the Refrint controller's
-        # lazy timers to avoid cancelling and re-inserting heap entries on
-        # every access.
-        self.sentry_event_time: Optional[int] = None
 
     # -- predicates shared with the refresh policies -------------------------
 

@@ -39,10 +39,19 @@ from repro.refresh.policies import (
 )
 from repro.utils.events import EventQueue
 from repro.utils.statistics import Counter
+from repro.utils.wheel import RefreshWheel
 
 
 class RefreshController(abc.ABC):
-    """Common machinery for the periodic and Refrint controllers."""
+    """Common machinery for the periodic and Refrint controllers.
+
+    Refresh timers (periodic group passes, lazy sentry interrupts) are
+    scheduled through a :class:`~repro.utils.wheel.RefreshWheel` rather than
+    as individual heap events.  :func:`build_refresh_controllers` hands
+    every controller of a simulation the same wheel so their timers drain
+    from one queue event per deadline; a controller constructed standalone
+    (unit tests, external tooling) builds a private wheel on its queue.
+    """
 
     def __init__(
         self,
@@ -54,6 +63,7 @@ class RefreshController(abc.ABC):
         hierarchy: CacheHierarchy,
         event_queue: EventQueue,
         counters: Optional[Counter] = None,
+        wheel: Optional[RefreshWheel] = None,
     ) -> None:
         self.level = level
         self.instance = instance
@@ -62,9 +72,13 @@ class RefreshController(abc.ABC):
         self.config = refresh_config
         self.hierarchy = hierarchy
         self.events = event_queue
+        self.wheel = wheel if wheel is not None else RefreshWheel(event_queue)
         self.counters = counters if counters is not None else hierarchy.counters
-        # Counter keys are built once; the refresh path is hot (hundreds of
-        # thousands of calls per simulation).
+        # Counter keys and per-line costs are resolved once, and the hot
+        # handlers increment the raw counter dict directly; the refresh
+        # path runs tens of thousands of times per simulation.
+        self._refresh_cycles_per_line = refresh_config.refresh_cycles_per_line
+        self._raw_counts = self.counters.raw
         self._refresh_counter = f"{level}_refreshes"
         self._writeback_counter = f"{level}_policy_writebacks_total"
         self._invalidate_counter = f"{level}_policy_invalidations_total"
@@ -98,6 +112,15 @@ class RefreshController(abc.ABC):
     @abc.abstractmethod
     def start(self, cycle: int) -> None:
         """Schedule this controller's first event(s) at or after ``cycle``."""
+
+    def next_disturbance_cycle(self) -> Optional[int]:
+        """Earliest future cycle at which this controller must act.
+
+        Trace-replay cores use this (through the event queue the wheel arms
+        itself on) as the horizon up to which references can be executed
+        back-to-back without a refresh pass interleaving.
+        """
+        return self.wheel.next_deadline()
 
     # -- shared action machinery ---------------------------------------------
 
@@ -224,7 +247,7 @@ class RefreshController(abc.ABC):
         """
         if lines_processed <= 0:
             return
-        busy_for = lines_processed * self.config.refresh_cycles_per_line
+        busy_for = lines_processed * self._refresh_cycles_per_line
         self.cache.busy_until = max(self.cache.busy_until, cycle + busy_for)
 
 
@@ -293,17 +316,25 @@ def build_refresh_controllers(
 
     refresh = config.refresh
     controllers: List[RefreshController] = []
+    # One calendar queue serves every controller: timers from all 64 arrays
+    # coalesce into shared buckets, so a single queue event drains the
+    # simultaneous sentry decays (and identically staggered periodic passes)
+    # of many caches at once.
+    wheel = RefreshWheel(event_queue)
+    hierarchy.refresh_wheel = wheel
     for level, instance, cache in hierarchy.all_caches():
         policy_level = "l1" if level in ("l1i", "l1d") else level
         policy = make_data_policy(refresh.data_policy_for_level(policy_level))
         level_config = level_refresh_config(config, level, cache)
         if refresh.timing_policy is TimingPolicyKind.PERIODIC:
             controller: RefreshController = PeriodicRefreshController(
-                level, instance, cache, policy, level_config, hierarchy, event_queue
+                level, instance, cache, policy, level_config, hierarchy,
+                event_queue, wheel=wheel,
             )
         else:
             controller = RefrintRefreshController(
-                level, instance, cache, policy, level_config, hierarchy, event_queue
+                level, instance, cache, policy, level_config, hierarchy,
+                event_queue, wheel=wheel,
             )
         controllers.append(controller)
     return controllers

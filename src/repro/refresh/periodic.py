@@ -30,7 +30,13 @@ from repro.refresh.policies import PolicyAction
 
 
 class PeriodicRefreshController(RefreshController):
-    """Walks one refresh group per event, once per retention period."""
+    """Walks one refresh group per timer, once per retention period.
+
+    Group passes are exact entries in the shared refresh wheel; identically
+    configured controllers (all 16 cores' L1s, say) stagger their groups to
+    the same nominal cycles, so one wheel drain walks the same-numbered
+    group of every such cache at once.
+    """
 
     def start(self, cycle: int) -> None:
         """Stagger the groups' first passes across one retention period."""
@@ -45,9 +51,13 @@ class PeriodicRefreshController(RefreshController):
         num_groups = self.cache.geometry.num_refresh_groups
         stride = max(1, self.config.retention_cycles // num_groups)
         for group in range(num_groups):
-            self.events.schedule_callback(
-                cycle + group * stride, self._on_group_event, payload=group
-            )
+            when = cycle + group * stride
+            # Periodic passes are exact timers (ready == deadline): the
+            # global counter walks the array on a fixed schedule, so the
+            # wheel serves each pass at precisely its nominal cycle --
+            # batching comes from identically configured controllers whose
+            # staggered passes share deadlines, not from slack.
+            self.wheel.schedule(when, when, self._on_group_event, payload=group)
 
     # -- event handling --------------------------------------------------------
 
@@ -60,9 +70,8 @@ class PeriodicRefreshController(RefreshController):
             busy_for = processed * self.config.refresh_cycles_per_line
             self.cache.block_group(group, cycle + busy_for)
         self.counters.add(self._pass_counter)
-        self.events.schedule_callback(
-            cycle + self.config.retention_cycles, self._on_group_event, payload=group
-        )
+        when = cycle + self.config.retention_cycles
+        self.wheel.schedule(when, when, self._on_group_event, payload=group)
 
     def _walk_group(self, group: int, cycle: int) -> int:
         """Apply the data policy to every line in the group.

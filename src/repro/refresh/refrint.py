@@ -15,13 +15,17 @@ group's interrupt fires the controller processes the group's due lines one
 per cycle, with interrupt requests taking priority over plain reads and
 writes.
 
-Simulation strategy: one *lazy* event per sentry group.  The event is always
-scheduled no later than ``now + sentry retention``; when it fires, lines
-whose Sentry bit has actually decayed are processed and the event is
-rescheduled for the group's next earliest decay.  A line that was accessed
-(and therefore recharged) after the event was scheduled is simply not due
-yet and is picked up by a later event, so no per-access event cancellation
-is needed.
+Simulation strategy: one *lazy* timer per sentry group, kept in the shared
+:class:`~repro.utils.wheel.RefreshWheel` rather than as an individual heap
+event.  A timer is always armed no later than ``now + sentry retention``
+and may be served up to ``margin - 1`` cycles after its predicted decay
+(the margin is precisely the headroom the hardware budgets between a
+Sentry bit's decay and the line's own), which lets one wheel drain serve
+many groups -- and many controllers -- at once.  When a timer is served,
+lines whose Sentry bit has actually decayed are processed and the timer is
+re-armed for the group's next earliest decay.  A line that was accessed
+(and therefore recharged) after the timer was armed is simply not due yet
+and is picked up by a later drain, so no per-access cancellation is needed.
 
 A sentry group is a contiguous ``[start, end)`` range of line indices
 (mirroring the wired-OR of adjacent sentry outputs in hardware), so the
@@ -45,13 +49,29 @@ class RefrintRefreshController(RefreshController):
     """Sentry-bit-driven refresh of one cache array."""
 
     def start(self, cycle: int) -> None:
-        """Partition the lines into sentry groups and arm one lazy event each."""
+        """Partition the lines into sentry groups and arm one lazy timer each."""
         self._interrupt_counter = f"{self.level}_sentry_interrupts"
         self.sentry = SentryBit(
             retention_cycles=self.config.retention_cycles,
             margin_cycles=self.config.sentry_margin_cycles,
         )
         self._sentry_retention = self.sentry.sentry_retention_cycles
+        # A sentry timer may be served after its predicted decay: the margin
+        # is exactly the headroom between a Sentry bit's decay and the
+        # line's own (the hardware sizes it so the priority-encoder walk
+        # finishes in time, Section 4.1), so anything under ``margin``
+        # cycles of lateness can never lose data.  The slack is what lets
+        # one wheel drain serve whole batches of timers; it is additionally
+        # capped at ~3% of the sentry period so the cadence of repeated
+        # passes over an idle line -- which is what ages a WB(n, m) Count
+        # towards its write-back/invalidate -- stays true to the paper's.
+        self._slack = max(
+            0,
+            min(
+                self.config.sentry_margin_cycles - 1,
+                self._sentry_retention // 32,
+            ),
+        )
         self._include_invalid = isinstance(self.policy, AllPolicy)
         group_size = self.cache.geometry.sentry_group_size
         num_lines = self.cache.num_lines
@@ -60,19 +80,22 @@ class RefrintRefreshController(RefreshController):
             for start in range(0, num_lines, group_size)
         ]
         # The single-pass handler fuses the due scan, the refresh ticks and
-        # the next-fire computation over the raw state vectors; the object
-        # backend and plugged-in policies keep the generic two-pass walk.
-        if self.cache.arrays is not None and self._policy_kind != "custom":
-            self._handler = self._on_group_interrupt_fast
-        else:
+        # the next-fire computation over the raw state vectors -- as masked
+        # array operations on the numpy backend, as one int-compare loop on
+        # the list backend; the object backend and plugged-in policies keep
+        # the generic two-pass walk.
+        if self._policy_kind == "custom" or self.cache.arrays is None:
             self._handler = self._on_group_interrupt
+        elif self.cache.numpy_backed:
+            self._handler = self._on_group_interrupt_vector
+        else:
+            self._handler = self._on_group_interrupt_fast
         # An empty cache has nothing due before one full sentry retention.
+        wheel = self.wheel
+        slack = self._slack
+        first = cycle + self._sentry_retention
         for group in self.groups:
-            self.events.schedule_callback(
-                cycle + self._sentry_retention,
-                self._handler,
-                payload=group,
-            )
+            wheel.schedule(first, first + slack, self._handler, payload=group)
 
     # -- event handling --------------------------------------------------------
 
@@ -182,13 +205,17 @@ class RefrintRefreshController(RefreshController):
                 action = self.apply_policy(i // assoc, cache.view(i), cycle)
                 if action is not PolicyAction.SKIP:
                     processed += 1
+        stat_counts = self._raw_counts  # distinct from the WB Count vector
         if refreshed:
-            self.counters.add(self._refresh_counter, refreshed)
+            stat_counts[self._refresh_counter] += refreshed
         if violations:
-            self.counters.add("decay_violations", violations)
+            stat_counts["decay_violations"] += violations
         if processed:
-            self.block_array(cycle, processed)
-            self.counters.add(self._interrupt_counter)
+            cache = self.cache
+            until = cycle + processed * self._refresh_cycles_per_line
+            if until > cache.busy_until:
+                cache.busy_until = until
+            stat_counts[self._interrupt_counter] += 1
         # Reschedule: lines handled this pass carry last_refresh == cycle,
         # i.e. exactly the horizon; only the not-due lines can fire earlier.
         # The horizon cap matters even so: the protocol's functionally
@@ -203,8 +230,62 @@ class RefrintRefreshController(RefreshController):
                 next_time = horizon
             elif next_time <= cycle:
                 next_time = cycle + 1
-        self.events.schedule_callback(
-            next_time, self._on_group_interrupt_fast, payload=payload
+        self.wheel.schedule(
+            next_time, next_time + self._slack,
+            self._on_group_interrupt_fast, payload=payload,
+        )
+
+    def _on_group_interrupt_vector(self, cycle: int, payload: Any) -> None:
+        """Group interrupt as masked array operations (numpy backend).
+
+        Delegates the scan, the in-place refresh ticks and the next-fire
+        computation to :meth:`~repro.mem.cache.Cache.sentry_scan_range`;
+        only write-backs / invalidations walk their line views.  Behaviour
+        is identical to :meth:`_on_group_interrupt_fast` (the equivalence
+        suite pins all backends against each other).
+        """
+        start, end = payload
+        kind = self._policy_kind
+        refreshed, violations, slow, min_not_due = self.cache.sentry_scan_range(
+            start,
+            end,
+            cycle,
+            cycle - self._sentry_retention,
+            cycle - self.config.retention_cycles,
+            kind,
+            self._include_invalid,
+            self._dirty_budget if kind == "wb" else 0,
+            self._clean_budget if kind == "wb" else 0,
+        )
+        processed = refreshed
+        if slow:
+            cache = self.cache
+            assoc = cache.geometry.associativity
+            for i in slow:
+                action = self.apply_policy(i // assoc, cache.view(i), cycle)
+                if action is not PolicyAction.SKIP:
+                    processed += 1
+        stat_counts = self._raw_counts
+        if refreshed:
+            stat_counts[self._refresh_counter] += refreshed
+        if violations:
+            stat_counts["decay_violations"] += violations
+        if processed:
+            self.block_array(cycle, processed)
+            stat_counts[self._interrupt_counter] += 1
+        sentry_retention = self._sentry_retention
+        horizon = cycle + sentry_retention
+        if min_not_due is None:
+            next_time = horizon
+        else:
+            next_time = min_not_due + sentry_retention
+            if next_time > horizon:
+                next_time = horizon
+            elif next_time <= cycle:
+                next_time = cycle + 1
+        self.wheel.schedule(
+            next_time, next_time + self._slack,
+            self._on_group_interrupt_vector, payload=payload,
         )
 
     def _reschedule(
@@ -222,7 +303,10 @@ class RefrintRefreshController(RefreshController):
         else:
             earliest = min(earliest_refresh + self._sentry_retention, horizon)
         next_time = max(cycle + 1, earliest)
-        self.events.schedule_callback(next_time, self._on_group_interrupt, payload=group)
+        self.wheel.schedule(
+            next_time, next_time + self._slack,
+            self._on_group_interrupt, payload=group,
+        )
 
     def _refreshes_invalid_lines(self) -> bool:
         """True when the data policy acts on invalid lines too (All only)."""

@@ -15,9 +15,11 @@ group's lines in a pipelined fashion, one line per cycle.
 In the simulator a Sentry bit is not a separate timer object per line --
 that would mean cancelling and rescheduling a heap event on every cache
 access.  Instead :class:`SentryBit` captures the *rule* (when would this
-line's sentry fire, given its last refresh?) and the Refrint controller uses
-lazy timers: an event that fires early simply reschedules itself to the
-correct time.
+line's sentry fire, given its last refresh?) and the Refrint controller
+keeps one lazy timer per group in the shared refresh wheel
+(:mod:`repro.utils.wheel`): a timer served before its group is due simply
+re-arms itself for the correct time, and one served within the margin's
+slack can never lose data.
 
 :class:`SentryGroup` is the object-model reference of the grouping: the
 production controller tracks groups as contiguous ``[start, end)`` line

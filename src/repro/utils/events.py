@@ -1,10 +1,14 @@
 """A minimal discrete-event scheduler.
 
-The simulator is event driven: cores schedule their next memory reference
-after the previous one completes, periodic refresh controllers schedule one
-event per line group per retention period, and Refrint controllers schedule
-one event per live Sentry bit.  Events carry a callback and an arbitrary
-payload; ties are broken by insertion order so simulation is deterministic.
+The simulator is event driven, but the high-rate producers no longer pay
+one heap entry each: under run-ahead replay (the default) cores execute
+their references inline and only *claim* a ``(time, seq)`` key per
+reference (:meth:`EventQueue.claim_seq`), and the refresh controllers keep
+their timers in a calendar queue (:mod:`repro.utils.wheel`) that holds a
+single armed event here.  What still flows through the heap -- wheel
+drains, and per-reference callbacks under ``replay="event"`` -- carries a
+callback and an arbitrary payload; ties are broken by insertion order so
+simulation is deterministic.
 """
 
 from __future__ import annotations
@@ -74,11 +78,23 @@ class EventQueue:
     reaches the non-comparable elements.
     """
 
+    #: Compaction threshold: the heap is rebuilt without its cancelled
+    #: entries once they outnumber the live ones (and enough have piled up
+    #: for the O(n) rebuild to be worth it).  Producers that cancel on every
+    #: reschedule -- the refresh wheel re-arming at an earlier deadline --
+    #: would otherwise grow the heap with dead tuples until popped.
+    _COMPACT_MIN_CANCELLED = 64
+
     def __init__(self) -> None:
         self._heap: list[Tuple] = []
         self._counter = itertools.count()
         self._now = 0
         self._live = 0
+        self._cancelled = 0
+        #: Events executed or handed out for execution over this queue's
+        #: lifetime (cancelled entries are not counted).  The benchmark
+        #: harness reads this to track event-count reduction.
+        self.popped_events = 0
 
     @property
     def now(self) -> int:
@@ -93,6 +109,25 @@ class EventQueue:
     def _note_cancelled(self) -> None:
         """Called by :meth:`Event.cancel` when a tracked event is cancelled."""
         self._live -= 1
+        self._cancelled += 1
+        if (
+            self._cancelled >= self._COMPACT_MIN_CANCELLED
+            and self._cancelled * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without its cancelled entries.
+
+        In place: the drain loops (and the run-ahead driver) hold long-lived
+        local aliases to the heap list, so the list object must survive.
+        """
+        self._heap[:] = [
+            entry for entry in self._heap
+            if entry[4] is None or not entry[4].cancelled
+        ]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
     def schedule(
         self,
@@ -158,13 +193,88 @@ class EventQueue:
             if handle is None:
                 handle = Event(time, seq, callback, payload)
             elif handle.cancelled:
+                self._cancelled -= 1
                 continue
             else:
                 handle.queue = None
             self._live -= 1
             self._now = time
+            self.popped_events += 1
             return handle
         return None
+
+    def claim_seq(self) -> int:
+        """Draw the next tie-breaker sequence number without scheduling.
+
+        Claiming a sequence number per inlined unit of work keeps the
+        (time, seq) order of everything else -- and therefore the whole
+        simulation -- byte-identical to scheduling that work as events.
+        This is the sanctioned form of what the run-ahead replay driver
+        does per reference (the driver itself draws from the shared
+        counter directly, one call per reference being too hot for method
+        dispatch; the two must stay equivalent).
+        """
+        return next(self._counter)
+
+    def advance_clock(self, time: int) -> None:
+        """Advance the clock to ``time`` (inline work executed off-queue).
+
+        Sanctioned equivalent of the run-ahead driver's direct forward
+        store of ``_now``; external callers running work off-queue should
+        use this checked form.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot move the clock back to {time}, current time is {self._now}"
+            )
+        self._now = time
+
+    def peek_key(self) -> Optional[Tuple[int, int]]:
+        """(time, seq) of the earliest live event, or None when empty.
+
+        Cancelled entries encountered at the top are dropped on the way, so
+        repeated peeks stay cheap.
+        """
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            handle = entry[4]
+            if handle is not None and handle.cancelled:
+                heapq.heappop(heap)
+                self._cancelled -= 1
+                continue
+            return (entry[0], entry[1])
+        return None
+
+    def run_until_key(self, time: int, seq: int) -> int:
+        """Execute every live event ordered strictly before ``(time, seq)``.
+
+        The run-ahead replay driver uses this to let refresh events fire in
+        their exact heap order relative to the core reference it is about to
+        execute inline.  The clock is left at the last executed event (or
+        untouched when nothing ran); returns the number of events executed.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        executed = 0
+        while heap:
+            entry = heap[0]
+            handle = entry[4]
+            if handle is not None and handle.cancelled:
+                pop(heap)
+                self._cancelled -= 1
+                continue
+            if entry[0] > time or (entry[0] == time and entry[1] >= seq):
+                break
+            pop(heap)
+            if handle is not None:
+                handle.queue = None
+            self._live -= 1
+            self._now = entry[0]
+            self.popped_events += 1
+            entry[2](entry[0], entry[3])
+            executed += 1
+        return executed
 
     def drain_until_count(self, done: list, target: int, max_events: int) -> int:
         """Execute events until ``done`` has grown to ``target`` entries.
@@ -194,8 +304,10 @@ class EventQueue:
                 if not handle.cancelled:
                     handle.queue = None
                     break
+                self._cancelled -= 1
             self._live -= 1
             self._now = time
+            self.popped_events += 1
             callback(time, payload)
             executed += 1
             if executed > max_events:
@@ -222,6 +334,7 @@ class EventQueue:
             time, _, callback, payload, handle = self._heap[0]
             if handle is not None and handle.cancelled:
                 heapq.heappop(self._heap)
+                self._cancelled -= 1
                 continue
             if until is not None and time > until:
                 break
@@ -230,6 +343,7 @@ class EventQueue:
                 handle.queue = None
             self._live -= 1
             self._now = time
+            self.popped_events += 1
             callback(time, payload)
             executed += 1
         return executed

@@ -33,10 +33,15 @@ deterministic given the seed.
 
 from __future__ import annotations
 
+import math
+import random
 from dataclasses import dataclass
 from typing import List
 
-import numpy as np
+try:  # numpy vectorises generation; the scalar fallback needs nothing.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None
 
 from repro.cpu.trace import MemoryOperation, TraceRecord, TraceStream
 
@@ -155,11 +160,20 @@ class SyntheticTraceGenerator:
         ]
 
     def generate_thread(self, thread_id: int) -> TraceStream:
-        """Generate the trace of one thread."""
+        """Generate the trace of one thread.
+
+        With numpy installed the stream is drawn with vectorised PCG64
+        sampling; without it a scalar Mersenne-Twister walk draws the same
+        distributions.  Both are fully deterministic in (seed, thread id),
+        but they produce *different* streams -- an environment must not mix
+        results generated with and without numpy.
+        """
         params = self.parameters
         count = params.references_per_thread
         if count == 0:
             return TraceStream([], thread_id=thread_id)
+        if np is None:
+            return self._generate_thread_scalar(thread_id, count)
         rng = np.random.default_rng((params.seed, thread_id))
 
         addresses = self._draw_addresses(rng, thread_id, count)
@@ -252,3 +266,82 @@ class SyntheticTraceGenerator:
         )
 
         return addresses
+
+    # -- pure-Python fallback ---------------------------------------------------
+
+    def _generate_thread_scalar(self, thread_id: int, count: int) -> TraceStream:
+        """Scalar (no-numpy) generation: same pools, same distributions.
+
+        One reference at a time through :class:`random.Random` -- slower
+        than the vectorised path but dependency-free, and deterministic in
+        (seed, thread id) because only integers are fed to the seeder.
+        """
+        params = self.parameters
+        rng = random.Random(params.seed * 1_000_003 + thread_id)
+        uniform = rng.random
+        randrange = rng.randrange
+
+        hot_base = HOT_REGION_BASE + thread_id * params.hot_footprint_bytes
+        private_base = (
+            PRIVATE_REGION_BASE + thread_id * params.private_footprint_bytes
+        )
+        slice_words = max(1, params.shared_words // params.num_threads)
+        slice_start_word = thread_id * slice_words
+        seq_word = randrange(slice_words)
+        pool_blocks = min(
+            MIGRATORY_POOL_BLOCKS,
+            max(1, params.shared_footprint_bytes // params.line_bytes),
+        )
+        words_per_line = params.line_bytes // WORD_BYTES
+        # Knuth's product-of-uniforms Poisson sampler; the mean gap is a
+        # handful of instructions, so the expected iteration count is tiny.
+        poisson_floor = math.exp(-params.mean_gap_instructions)
+
+        records = []
+        for i in range(count):
+            if uniform() < params.hot_fraction:
+                address = hot_base + randrange(params.hot_words) * WORD_BYTES
+            elif uniform() >= params.shared_fraction:
+                address = (
+                    private_base + randrange(params.private_words) * WORD_BYTES
+                )
+            else:
+                kind = uniform()
+                if kind < params.sequential_fraction:
+                    seq_word = (seq_word + 1) % slice_words
+                    address = (
+                        SHARED_REGION_BASE
+                        + (slice_start_word + seq_word) * WORD_BYTES
+                    )
+                elif kind < params.sequential_fraction + params.migration_fraction:
+                    block = (
+                        randrange(pool_blocks) + thread_id + i // 64
+                    ) % pool_blocks
+                    address = (
+                        SHARED_REGION_BASE
+                        + block * params.line_bytes
+                        + randrange(words_per_line) * WORD_BYTES
+                    )
+                else:
+                    address = (
+                        SHARED_REGION_BASE
+                        + randrange(params.shared_words) * WORD_BYTES
+                    )
+            gap = 0
+            if params.mean_gap_instructions > 0:
+                product = uniform()
+                while product >= poisson_floor:
+                    gap += 1
+                    product *= uniform()
+            records.append(
+                TraceRecord(
+                    address=address,
+                    operation=(
+                        MemoryOperation.WRITE
+                        if uniform() < params.write_fraction
+                        else MemoryOperation.READ
+                    ),
+                    gap_instructions=gap,
+                )
+            )
+        return TraceStream(records, thread_id=thread_id)

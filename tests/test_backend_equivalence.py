@@ -1,12 +1,15 @@
-"""Byte-level equivalence of the array and object cache backends.
+"""Byte-level equivalence of the cache backends and replay modes.
 
-The struct-of-arrays backend is an *optimisation*, not a remodel: for every
-configuration the simulator must produce a :class:`SimulationResult` whose
-JSON form is byte-identical to the original one-object-per-line backend's.
-The matrix here runs the three configuration families (SRAM baseline, the
-eager Periodic-All eDRAM scheme, and the paper's headline Refrint-WB(32,32))
-over two applications through both backends and compares the canonical JSON
-dumps byte for byte -- counters, cycle counts and energy included.
+The struct-of-arrays backend, its optional numpy backing, and the run-ahead
+replay loop are all *optimisations*, not remodels: for every configuration
+the simulator must produce a :class:`SimulationResult` whose JSON form is
+byte-identical to the original one-object-per-line backend replayed one
+heap event per reference.  The matrix here runs five configuration
+families (SRAM baseline, periodic eDRAM schemes covering the bulk and
+per-line sweeps, and the paper's headline Refrint-WB(32,32)) over two
+applications through every backend x replay combination and compares the
+canonical JSON dumps byte for byte -- counters, cycle counts and energy
+included.
 """
 
 from __future__ import annotations
@@ -23,6 +26,8 @@ from repro.config.parameters import (
 )
 from repro.config.presets import scaled_architecture, scaled_retention_cycles
 from repro.core.simulator import RefrintSimulator
+from repro.cpu.trace import MemoryOperation, TraceRecord, TraceStream
+from repro.mem.arrays import HAVE_NUMPY
 from repro.workloads.suite import build_application
 
 #: Short but non-trivial traces: every config exercises fills, evictions,
@@ -30,6 +35,17 @@ from repro.workloads.suite import build_application
 LENGTH_SCALE = 0.1
 
 APPLICATIONS = ("fft", "blackscholes")
+
+#: Every cache backend crossed with every replay mode, compared against the
+#: (object, event) reference.  The numpy backend rides along when numpy is
+#: installed and is skipped (not failed) when it is absent.
+BACKENDS = ("object", "array") + (("numpy",) if HAVE_NUMPY else ())
+VARIANTS = [
+    (backend, replay)
+    for backend in BACKENDS
+    for replay in ("event", "runahead")
+    if (backend, replay) != ("object", "event")
+]
 
 
 def _edram_config(architecture, timing, data):
@@ -59,10 +75,21 @@ def workloads(architecture):
 
 
 def _config_matrix(architecture):
+    # Chosen to cover every backend-specialised refresh path: P.all and
+    # P.valid take the bulk slice sweep (invalid lines included/excluded),
+    # P.WB takes the periodic per-line walk (valid_indices_in_range +
+    # stamp_invalid_range + process_indices), and R.WB takes the fused
+    # sentry interrupt scan.
     return {
         "SRAM": SimulationConfig.sram(architecture),
         "P.all": _edram_config(
             architecture, TimingPolicyKind.PERIODIC, DataPolicySpec.all_lines()
+        ),
+        "P.valid": _edram_config(
+            architecture, TimingPolicyKind.PERIODIC, DataPolicySpec.valid()
+        ),
+        "P.WB(32,32)": _edram_config(
+            architecture, TimingPolicyKind.PERIODIC, DataPolicySpec.writeback(32, 32)
         ),
         "R.WB(32,32)": _edram_config(
             architecture, TimingPolicyKind.REFRINT, DataPolicySpec.writeback(32, 32)
@@ -74,24 +101,142 @@ def _canonical_bytes(result) -> bytes:
     return json.dumps(result.to_dict(), sort_keys=True).encode("utf-8")
 
 
-@pytest.mark.parametrize("config_label", ["SRAM", "P.all", "R.WB(32,32)"])
+@pytest.fixture(scope="module")
+def reference_results(architecture, workloads):
+    """The (object backend, event replay) result for every matrix cell."""
+    configs = _config_matrix(architecture)
+    return {
+        (config_label, application): _canonical_bytes(
+            RefrintSimulator(
+                configs[config_label], cache_backend="object", replay="event"
+            ).run(workloads[application])
+        )
+        for config_label in configs
+        for application in APPLICATIONS
+    }
+
+
+@pytest.mark.parametrize("backend,replay", VARIANTS)
+@pytest.mark.parametrize(
+    "config_label", ["SRAM", "P.all", "P.valid", "P.WB(32,32)", "R.WB(32,32)"]
+)
 @pytest.mark.parametrize("application", APPLICATIONS)
-def test_backends_produce_byte_identical_results(
-    architecture, workloads, config_label, application
+def test_all_backends_and_replays_are_byte_identical(
+    architecture, workloads, reference_results, config_label, application,
+    backend, replay,
 ):
     config = _config_matrix(architecture)[config_label]
-    workload = workloads[application]
-    object_result = RefrintSimulator(config, cache_backend="object").run(workload)
-    array_result = RefrintSimulator(config, cache_backend="array").run(workload)
-    assert _canonical_bytes(object_result) == _canonical_bytes(array_result)
+    result = RefrintSimulator(config, cache_backend=backend, replay=replay).run(
+        workloads[application]
+    )
+    assert _canonical_bytes(result) == reference_results[(config_label, application)]
 
 
-def test_backend_selection_is_plumbed_through(architecture, workloads):
+def test_runahead_pops_far_fewer_events(architecture, workloads):
+    """Run-ahead inlines every reference: only refresh drains hit the heap."""
+    config = _config_matrix(architecture)["R.WB(32,32)"]
+    stats = {}
+    for replay in ("event", "runahead"):
+        simulator = RefrintSimulator(config, replay=replay)
+        simulator.run(workloads["fft"])
+        stats[replay] = simulator.last_replay_stats
+    assert stats["event"].references == stats["runahead"].references
+    assert stats["runahead"].events_popped * 5 <= stats["event"].events_popped
+
+
+def test_backend_selection_is_plumbed_through(architecture):
     """The hierarchy really builds the requested backend on every cache."""
     from repro.hierarchy.hierarchy import CacheHierarchy
 
-    for backend in ("array", "object"):
+    backends = ("array", "object") + (("numpy",) if HAVE_NUMPY else ())
+    for backend in backends:
         hierarchy = CacheHierarchy(architecture, cache_backend=backend)
         for _, _, cache in hierarchy.all_caches():
             assert cache.backend == backend
-            assert (cache.arrays is not None) == (backend == "array")
+            assert (cache.arrays is not None) == (backend != "object")
+            assert cache.numpy_backed == (backend == "numpy")
+
+
+def test_numpy_backend_requires_numpy(architecture):
+    if HAVE_NUMPY:
+        pytest.skip("numpy installed; the rejection path needs it absent")
+    from repro.mem.cache import Cache
+
+    with pytest.raises(RuntimeError):
+        Cache(architecture.l1d, backend="numpy")
+
+
+class TestHorizonBoundary:
+    """References landing exactly on a refresh deadline.
+
+    The run-ahead loop batches references strictly *before* its horizon; a
+    reference issued at exactly the horizon cycle must yield to the queue
+    so the refresh pass (and its array blocking) executes first, just as
+    the (time, seq) heap order would.  These traces are built so that core
+    0's references land exactly on the periodic group passes' nominal
+    cycles (multiples of the stagger stride), with the other cores idle and
+    busy respectively.
+    """
+
+    @staticmethod
+    def _aligned_workload(architecture, stride, other_gap):
+        fft = build_application("fft", architecture, length_scale=0.01)
+        line = architecture.l1d.line_bytes
+        aligned = TraceStream(
+            [
+                TraceRecord(
+                    address=0x2000_0000 + i * line,
+                    operation=(
+                        MemoryOperation.WRITE if i % 3 == 0
+                        else MemoryOperation.READ
+                    ),
+                    # The first reference issues at exactly `stride` (the
+                    # first staggered group pass); later gaps keep issue
+                    # times near (and regularly exactly on) later passes.
+                    gap_instructions=stride if i == 0 else stride - 1,
+                )
+                for i in range(64)
+            ],
+            thread_id=0,
+        )
+        others = [
+            TraceStream(
+                [
+                    TraceRecord(
+                        address=0x3000_0000 + t * 0x1_0000 + i * line,
+                        operation=MemoryOperation.READ,
+                        gap_instructions=other_gap,
+                    )
+                    for i in range(32)
+                ],
+                thread_id=t,
+            )
+            for t in range(1, architecture.num_cores)
+        ]
+        from repro.workloads.suite import ApplicationWorkload
+
+        return ApplicationWorkload(
+            spec=fft.spec, traces=(aligned, *others)
+        )
+
+    @pytest.mark.parametrize("timing,data", [
+        (TimingPolicyKind.PERIODIC, DataPolicySpec.all_lines()),
+        (TimingPolicyKind.REFRINT, DataPolicySpec.writeback(2, 2)),
+    ])
+    @pytest.mark.parametrize("other_gap", [0, 7])
+    def test_boundary_reference_is_ordered_like_event_replay(
+        self, architecture, timing, data, other_gap
+    ):
+        config = _edram_config(architecture, timing, data)
+        stride = (
+            config.refresh.retention_cycles
+            // architecture.l3_bank.num_refresh_groups
+        )
+        workload = self._aligned_workload(architecture, stride, other_gap)
+        results = {
+            replay: _canonical_bytes(
+                RefrintSimulator(config, replay=replay).run(workload)
+            )
+            for replay in ("event", "runahead")
+        }
+        assert results["event"] == results["runahead"]

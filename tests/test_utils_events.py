@@ -135,3 +135,74 @@ def test_len_is_tracked_through_run():
     queue.run()
     assert cancelled == []
     assert len(queue) == 0
+
+
+def test_peek_key_skips_cancelled_and_reports_earliest():
+    queue = EventQueue()
+    assert queue.peek_key() is None
+    first = queue.schedule(5, lambda t, p: None)
+    queue.schedule(9, lambda t, p: None)
+    assert queue.peek_key() == (5, 0)
+    first.cancel()
+    assert queue.peek_key() == (9, 1)
+
+
+def test_run_until_key_executes_strictly_before_the_key():
+    queue = EventQueue()
+    fired = []
+    queue.schedule(5, lambda t, p: fired.append((t, "a")))   # seq 0
+    queue.schedule(10, lambda t, p: fired.append((t, "b")))  # seq 1
+    queue.schedule(10, lambda t, p: fired.append((t, "c")))  # seq 2
+    # Everything before (10, seq 2): the t=5 event and the first t=10 one.
+    executed = queue.run_until_key(10, 2)
+    assert executed == 2
+    assert fired == [(5, "a"), (10, "b")]
+    assert queue.now == 10
+    queue.run()
+    assert fired[-1] == (10, "c")
+
+
+def test_claim_seq_interleaves_with_scheduled_events():
+    queue = EventQueue()
+    queue.schedule(3, lambda t, p: None)  # seq 0
+    assert queue.claim_seq() == 1
+    event = queue.schedule(3, lambda t, p: None)
+    assert event.seq == 2
+
+
+def test_advance_clock_moves_forward_only():
+    queue = EventQueue()
+    queue.advance_clock(12)
+    assert queue.now == 12
+    with pytest.raises(ValueError):
+        queue.advance_clock(11)
+    with pytest.raises(ValueError):
+        queue.schedule(5, lambda t, p: None)
+
+
+def test_popped_events_counts_only_executed_events():
+    queue = EventQueue()
+    dropped = queue.schedule(1, lambda t, p: None)
+    dropped.cancel()
+    for time in (2, 3, 4):
+        queue.schedule(time, lambda t, p: None)
+    queue.run()
+    assert queue.popped_events == 3
+
+
+def test_heap_compacts_when_cancelled_entries_dominate():
+    queue = EventQueue()
+    keeper = queue.schedule(10**6, lambda t, p: None)
+    threshold = EventQueue._COMPACT_MIN_CANCELLED
+    for i in range(threshold):
+        queue.schedule(i + 1, lambda t, p: None).cancel()
+    # The compaction threshold has been crossed: only the live event may
+    # remain in the underlying heap.
+    assert len(queue) == 1
+    assert len(queue._heap) == 1
+    assert queue._heap[0][4] is keeper
+    # The queue still behaves normally afterwards.
+    fired = []
+    queue.schedule(5, lambda t, p: fired.append(t))
+    queue.run()
+    assert fired == [5]
