@@ -15,6 +15,11 @@ flag (i.e. the committed baseline) as the reference, then fails on a
   event-loop regression, not runner noise;
 * ``event_reduction`` -- the staged-vs-runahead event-count factor,
   equally deterministic;
+* ``runahead.protocol_calls`` and ``protocol_call_reduction`` (plus the
+  private-hit leg's reduction) -- the protocol batching factor of the
+  hit-run access path, equally deterministic.  Compared only when the
+  baseline already records them (older trajectory points predate the
+  metric);
 * ``speedup`` / ``staged_speedup`` -- same-host wall-clock ratios
   (object time over run-ahead / staged time), where machine speed cancels
   out and only the relative cost of the fast paths remains.  These get a
@@ -97,6 +102,27 @@ def main() -> int:
         baseline["event_reduction"],
         lower_is_better=False,
     )
+    if "protocol_calls" in baseline.get("runahead", {}):
+        require(
+            "runahead.protocol_calls",
+            fresh["runahead"]["protocol_calls"],
+            baseline["runahead"]["protocol_calls"],
+            lower_is_better=True,
+        )
+    if "protocol_call_reduction" in baseline:
+        require(
+            "protocol_call_reduction",
+            fresh["protocol_call_reduction"],
+            baseline["protocol_call_reduction"],
+            lower_is_better=False,
+        )
+    if "private_hit" in baseline and "private_hit" in fresh:
+        require(
+            "private_hit.protocol_call_reduction",
+            fresh["private_hit"]["protocol_call_reduction"],
+            baseline["private_hit"]["protocol_call_reduction"],
+            lower_is_better=False,
+        )
     require(
         "speedup", fresh["speedup"], baseline["speedup"],
         lower_is_better=False, tolerance=WALL_TOLERANCE,

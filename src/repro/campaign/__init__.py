@@ -25,7 +25,7 @@ from repro.campaign.engine import CampaignStats, run_campaign
 from repro.campaign.executors import ParallelExecutor, SerialExecutor, execute_job
 from repro.campaign.jobs import Job, enumerate_jobs
 from repro.campaign.maintenance import store_gc, store_ls, store_verify
-from repro.campaign.store import ResultStore
+from repro.campaign.store import ResultStore, StoreProvenanceError
 
 __all__ = [
     "CampaignStats",
@@ -33,6 +33,7 @@ __all__ = [
     "ParallelExecutor",
     "ResultStore",
     "SerialExecutor",
+    "StoreProvenanceError",
     "enumerate_jobs",
     "execute_job",
     "run_campaign",

@@ -98,6 +98,11 @@ def run_campaign(
         )
     if store is not None and not isinstance(store, ResultStore):
         store = ResultStore(store)
+    if store is not None:
+        # Fail fast (before any simulation) when the store was written by
+        # an environment with the other trace generator; resuming against
+        # it could only recompute everything into a mixed store.
+        store.check_provenance()
 
     jobs = enumerate_jobs(requests, grid, arch)
     results: Dict[str, SimulationResult] = {}

@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence
 from repro.config.parameters import ArchitectureConfig, SimulationConfig
 from repro.core.sweep import PolicyPoint
 from repro.workloads.suite import WorkloadRequest
+from repro.workloads.synthetic import TRACE_GENERATOR_PROVENANCE
 
 #: Display label used for the full-SRAM baseline job.
 BASELINE_LABEL = "SRAM baseline"
@@ -86,9 +87,12 @@ class Job:
         """Content hash identifying this job (and its result) forever.
 
         The digest covers everything that influences the simulation output:
-        the workload recipe (name, length scale, seed) and the complete
+        the workload recipe (name, length scale, seed), the complete
         configuration (architecture geometry, cell technology, refresh
-        policy, simulator seed).
+        policy, simulator seed), and the trace-generator provenance of this
+        environment (numpy vs scalar fallback -- the two draw different,
+        equally valid streams from the same recipe, so their results must
+        never alias).
         """
         return self._digest
 
@@ -102,6 +106,7 @@ class Job:
         return {
             "workload": canonical_value(self.workload),
             "config": canonical_value(self.config),
+            "trace_generator": TRACE_GENERATOR_PROVENANCE,
         }
 
     @cached_property

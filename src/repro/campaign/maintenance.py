@@ -129,7 +129,11 @@ def scan_store(
     for path in sorted(root.iterdir()):
         if path.is_dir():
             continue
-        if path.suffix == ".json":
+        if path.name.startswith("_"):
+            # Store-level metadata (e.g. the trace-generator provenance
+            # stamp), not an entry and not a leftover.
+            continue
+        if path.suffix == ".json" and not path.name.startswith("."):
             report.entries.append(_inspect_entry(path, check_hashes))
         else:
             # Anything else in a store directory is a leftover (temp files

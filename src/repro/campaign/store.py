@@ -20,6 +20,24 @@ from typing import Iterator, Optional, Union
 
 from repro.campaign.jobs import Job
 from repro.core.results import SimulationResult
+from repro.workloads.synthetic import TRACE_GENERATOR_PROVENANCE
+
+#: Store-level metadata file recording which trace generator produced the
+#: results inside.  Underscore-prefixed so it can never collide with a job
+#: key (keys are hex digests) and is skipped by entry iteration.
+PROVENANCE_FILE = "_trace_provenance.json"
+
+
+class StoreProvenanceError(RuntimeError):
+    """A store holds results from a different trace-generator environment.
+
+    The numpy and scalar trace generators draw different (equally valid)
+    streams from the same workload recipe; mixing their results in one
+    store would make sweep figures silently incomparable.  Job hashes
+    already keep the two apart (the provenance is part of the digest); this
+    error makes the mixing attempt loud instead of silently recomputing
+    every point into a mongrel store.
+    """
 
 
 class ResultStore:
@@ -28,11 +46,16 @@ class ResultStore:
     Writes are atomic (write to a temp file, then ``os.replace``) so a
     campaign killed mid-write never leaves a truncated entry that would
     poison later resumes; unreadable entries are treated as missing.
+
+    The first write stamps the store with this environment's
+    trace-generator provenance (numpy vs scalar fallback); later writes
+    from the other environment raise :class:`StoreProvenanceError`.
     """
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self._provenance_checked = False
 
     def path_for(self, key: str) -> Path:
         """Filesystem path of one job's result file."""
@@ -47,7 +70,77 @@ class ResultStore:
     def keys(self) -> Iterator[str]:
         """Job keys currently persisted in the store."""
         for path in sorted(self.root.glob("*.json")):
-            yield path.stem
+            if not path.name.startswith(("_", ".")):
+                yield path.stem
+
+    def check_provenance(self) -> None:
+        """Stamp or verify the store's trace-generator provenance.
+
+        Idempotent and cheap after the first call.  Raises
+        :class:`StoreProvenanceError` when the store was stamped by the
+        other environment, and also when the marker exists but cannot be
+        read -- a damaged marker must not silently disable the guard.
+        Stores predating the stamp are stamped with the current
+        environment on their next write (their old entries use
+        pre-provenance job keys, which no current campaign can enumerate,
+        so no mixing can occur through them).
+        """
+        if self._provenance_checked:
+            return
+        marker = self.root / PROVENANCE_FILE
+        try:
+            recorded = json.loads(marker.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            stamped = None
+        except (OSError, ValueError) as error:
+            raise StoreProvenanceError(
+                f"store {self.root} has an unreadable provenance marker "
+                f"({marker.name}: {error}); refusing to guess which trace "
+                f"generator produced its results -- delete or restore the "
+                f"marker by hand"
+            ) from error
+        else:
+            # A marker that parses but has the wrong shape is just as
+            # damaged as one that does not parse: never restamp over it.
+            stamped = (
+                recorded.get("trace_generator")
+                if isinstance(recorded, dict)
+                else None
+            )
+            if not isinstance(stamped, str):
+                raise StoreProvenanceError(
+                    f"store {self.root} has a malformed provenance marker "
+                    f"({marker.name}: no 'trace_generator' string); delete "
+                    f"or restore the marker by hand"
+                )
+        if stamped is None:
+            # Atomic like every other store write: a crash mid-stamp must
+            # not leave a truncated marker that poisons the next check.
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=".provenance-", suffix=".tmp", dir=self.root
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(
+                        {"trace_generator": TRACE_GENERATOR_PROVENANCE},
+                        handle,
+                        indent=2,
+                    )
+                    handle.write("\n")
+                os.replace(tmp_name, marker)
+            except BaseException:
+                with contextlib.suppress(OSError):
+                    os.unlink(tmp_name)
+                raise
+        elif stamped != TRACE_GENERATOR_PROVENANCE:
+            raise StoreProvenanceError(
+                f"store {self.root} holds results generated with the "
+                f"{stamped!r} trace generator, but this environment uses "
+                f"{TRACE_GENERATOR_PROVENANCE!r} (numpy "
+                f"{'missing' if TRACE_GENERATOR_PROVENANCE == 'scalar' else 'installed'}); "
+                f"use a separate store per environment"
+            )
+        self._provenance_checked = True
 
     def get(self, key: str) -> Optional[SimulationResult]:
         """Load one result, or None when absent or unreadable."""
@@ -60,7 +153,13 @@ class ResultStore:
             return None
 
     def put(self, job: Job, result: SimulationResult) -> Path:
-        """Persist one job's result; returns the file written."""
+        """Persist one job's result; returns the file written.
+
+        Raises:
+            StoreProvenanceError: when the store was stamped by an
+                environment with the other trace generator.
+        """
+        self.check_provenance()
         key = job.key()
         path = self.path_for(key)
         payload = {

@@ -1,0 +1,104 @@
+"""Pending-effect buffer for the batched (hit-run) access path.
+
+A leaf module: both the protocol (which commits runs) and the cores (which
+accumulate them) need the buffer, and the protocol already sits downstream
+of the hierarchy the cores import.
+"""
+
+from __future__ import annotations
+
+
+class RunBuffer:
+    """Deferred, commutative effects of a private-cache hit run.
+
+    Under run-ahead replay a core streaming hits out of its private caches
+    does not need to walk the protocol per reference: a private hit touches
+    only the core's own L1/L2 replacement and refresh timestamps (nobody
+    else's) plus globally *additive* activity counters, so those effects
+    commute with everything except the core's own structural operations
+    (misses, fills, upgrades) and the refresh machinery reading the
+    timestamp vectors.  The buffer accumulates them -- per-cache coalesced
+    touch lists (line index, cycle of last touch, number of touches) and
+    plain integer counter tallies -- until :meth:`DirectoryProtocol.hit_run`
+    commits the whole run in one staged call.
+
+    Coalescing is per line: consecutive touches of the same line collapse
+    into one entry whose cycle advances, because only the final timestamps
+    and LRU stamp of a repeatedly hit line are observable.  The touch lists
+    preserve program order, so victim choice after a flush sees exactly the
+    stamps sequential execution would have left.
+    """
+
+    __slots__ = (
+        "l1d_idx", "l1d_cyc", "l1d_cnt",
+        "l1i_idx", "l1i_cyc", "l1i_cnt",
+        "l2_idx", "l2_cyc", "l2_cnt",
+        "l1d_reads", "l1d_writes", "l1d_hits", "l1d_misses",
+        "l1i_reads", "l1i_hits",
+        "l2_reads", "l2_writes", "l2_hits",
+        "instructions",
+    )
+
+    def __init__(self) -> None:
+        self.l1d_idx: list = []
+        self.l1d_cyc: list = []
+        self.l1d_cnt: list = []
+        self.l1i_idx: list = []
+        self.l1i_cyc: list = []
+        self.l1i_cnt: list = []
+        self.l2_idx: list = []
+        self.l2_cyc: list = []
+        self.l2_cnt: list = []
+        self.clear_tallies()
+
+    def clear_tallies(self) -> None:
+        """Zero the counter tallies (the touch lists are cleared on commit)."""
+        self.l1d_reads = 0
+        self.l1d_writes = 0
+        self.l1d_hits = 0
+        self.l1d_misses = 0
+        self.l1i_reads = 0
+        self.l1i_hits = 0
+        self.l2_reads = 0
+        self.l2_writes = 0
+        self.l2_hits = 0
+        self.instructions = 0
+
+    def land_touches(self, l1d, l1i, l2) -> bool:
+        """Apply and clear the coalesced touch lists onto their caches.
+
+        Each non-None cache receives its pending list through one
+        :meth:`~repro.mem.cache.Cache.access_run` bulk call; the tallies
+        are untouched.  Returns True when anything landed.  This is the
+        single definition of "landing" -- the cores' run maintenance and
+        the protocol's run commit must land identically or byte-identity
+        breaks only on one of the two paths.
+        """
+        landed = False
+        if l1d is not None and self.l1d_idx:
+            l1d.access_run(self.l1d_idx, self.l1d_cyc, self.l1d_cnt)
+            self.l1d_idx.clear()
+            self.l1d_cyc.clear()
+            self.l1d_cnt.clear()
+            landed = True
+        if l1i is not None and self.l1i_idx:
+            l1i.access_run(self.l1i_idx, self.l1i_cyc, self.l1i_cnt)
+            self.l1i_idx.clear()
+            self.l1i_cyc.clear()
+            self.l1i_cnt.clear()
+            landed = True
+        if l2 is not None and self.l2_idx:
+            l2.access_run(self.l2_idx, self.l2_cyc, self.l2_cnt)
+            self.l2_idx.clear()
+            self.l2_cyc.clear()
+            self.l2_cnt.clear()
+            landed = True
+        return landed
+
+    def empty(self) -> bool:
+        """True when nothing is pending (no touches and no tallies)."""
+        return not (
+            self.l1d_idx or self.l1i_idx or self.l2_idx
+            or self.l1d_reads or self.l1d_writes or self.l1i_reads
+            or self.l2_reads or self.l2_writes or self.instructions
+        )

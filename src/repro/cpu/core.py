@@ -14,6 +14,19 @@ one L1I access for energy purposes, and one real instruction fetch is issued
 through the hierarchy per ``ifetch_interval`` instructions (walking a small
 per-thread code region) so the instruction working set occupies cache lines
 and is subject to refresh like everything else.
+
+Under run-ahead replay the cores drive a *batched* access path
+(:meth:`Core.step_fast`): a reference that the private hierarchy can resolve
+without a directory transaction -- an L1 hit, an L2-served read, a store to
+an M/E line -- only touches the core's own replacement/refresh timestamps
+and globally additive counters, so its effects are deferred into a
+:class:`~repro.coherence.protocol.RunBuffer` and committed in one staged
+:meth:`~repro.coherence.protocol.DirectoryProtocol.hit_run` call.  The run
+is validated per *block* (one probe and MESI check when the block or epoch
+changes), not per reference, so a core streaming hits out of its L1 pays a
+few list appends per reference.  Runs are cut only where someone could
+observe the pending state: the core's own slow (state-changing) access, a
+refresh-wheel drain, or trace completion.
 """
 
 from __future__ import annotations
@@ -23,6 +36,12 @@ from typing import Any, Callable, Optional
 
 from repro.cpu.trace import TraceStream
 from repro.hierarchy.hierarchy import CacheHierarchy
+
+# After the hierarchy: importing anything under repro.coherence runs that
+# package's __init__, whose protocol import needs repro.hierarchy fully
+# initialised first.
+from repro.coherence.runbuffer import RunBuffer
+from repro.mem.line import MESI_EXCLUSIVE, MESI_MODIFIED, MESI_SHARED
 from repro.utils.events import EventQueue
 
 #: Number of instructions represented by one real instruction-fetch access.
@@ -63,6 +82,7 @@ class Core:
         ifetch_interval: int = DEFAULT_IFETCH_INTERVAL,
         code_region_bytes: int = DEFAULT_CODE_REGION_BYTES,
         on_finish: Optional[Callable[[int, "Core"], None]] = None,
+        prepare_runs: bool = True,
     ) -> None:
         if ifetch_interval < 1:
             raise ValueError("ifetch_interval must be >= 1")
@@ -97,6 +117,45 @@ class Core:
         self._addresses = [record.address for record in trace]
         self._is_write = [record.is_write for record in trace]
         self._gaps = [record.gap_instructions for record in trace]
+        # Batched access path (run-ahead replay only; event replay passes
+        # prepare_runs=False and never pays for it).  Block addresses are
+        # precomputed so the same-line fast path is one list read and an
+        # int compare; the private caches and the hit-run plumbing are
+        # bound once.
+        block_mask = ~(self._line_bytes - 1)
+        self._block_mask = block_mask
+        self._blocks = (
+            [address & block_mask for address in self._addresses]
+            if prepare_runs
+            else None
+        )
+        caches = hierarchy.cores[core_id]
+        self._l1i = caches.l1i
+        self._l1d = caches.l1d
+        self._l2 = caches.l2
+        self._l1d_cycles = caches.l1d.access_cycles
+        self._l2_cycles = caches.l2.access_cycles
+        # A run write always costs the L1D access (write-through) plus the
+        # L2 access; a run read served by the L1D costs the L1D alone.
+        self._l1d_l2_cycles = caches.l1d.access_cycles + caches.l2.access_cycles
+        self._run = RunBuffer()
+        self._commit_run = hierarchy.commit_hit_run
+        self._protocol = hierarchy.protocol
+        self._epoch = hierarchy.protocol.run_epoch
+        # Cached resolution of the most recent servable block: its private
+        # line indices and permissions, valid only while the protocol epoch
+        # is unchanged (a slow transaction anywhere may recall or
+        # back-invalidate private lines).
+        self._cb = -1
+        self._cb_epoch = -1
+        self._cb_l1d = -1
+        self._cb_l2 = -1
+        self._cb_wok = False
+        # Deferred CoreStats tallies, applied on flush.
+        self._run_refs = 0
+        self._run_busy = 0
+        self._run_stall = 0
+        self._run_instr = 0
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -158,6 +217,274 @@ class Core:
         issue_time = cycle + latency + gap
         self._account_instructions(cycle + latency, gap)
         return issue_time
+
+    def step_fast(self, cycle: int) -> Optional[int]:
+        """Like :meth:`step`, but private hits join the pending run.
+
+        Byte-equivalent to :meth:`step`: a reference the private caches can
+        serve without a directory transaction defers its timestamp/counter
+        effects into the run buffer (committed later in one
+        ``hit_run`` staged call); anything else lands the run and falls
+        back to the ordinary protocol walk.  Only the run-ahead driver
+        calls this -- event replay keeps the one-call-per-reference path.
+        """
+        index = self._next_index
+        block = self._blocks[index]
+        write = self._is_write[index]
+        if block != self._cb or self._cb_epoch != self._epoch[0]:
+            if not self._resolve_block(block, cycle, write):
+                self.land_run()
+                return self.step(cycle)
+        buf = self._run
+        if write:
+            if not self._cb_wok and not self._resolve_write(cycle):
+                self.land_run()
+                return self.step(cycle)
+            buf.l1d_writes += 1
+            l1d_index = self._cb_l1d
+            if l1d_index >= 0:
+                buf.l1d_hits += 1
+                idxs = buf.l1d_idx
+                if idxs and idxs[-1] == l1d_index:
+                    buf.l1d_cyc[-1] = cycle
+                    buf.l1d_cnt[-1] += 1
+                else:
+                    idxs.append(l1d_index)
+                    buf.l1d_cyc.append(cycle)
+                    buf.l1d_cnt.append(1)
+            else:
+                buf.l1d_misses += 1
+            # The store proceeds to the write-back L2 (write-through L1);
+            # the L2 is stamped when its access completes.
+            latency = self._l1d_l2_cycles
+            l2_index = self._cb_l2
+            idxs = buf.l2_idx
+            if idxs and idxs[-1] == l2_index:
+                buf.l2_cyc[-1] = cycle + latency
+                buf.l2_cnt[-1] += 1
+            else:
+                idxs.append(l2_index)
+                buf.l2_cyc.append(cycle + latency)
+                buf.l2_cnt.append(1)
+            buf.l2_writes += 1
+            buf.l2_hits += 1
+        else:
+            buf.l1d_reads += 1
+            l1d_index = self._cb_l1d
+            if l1d_index >= 0:
+                buf.l1d_hits += 1
+                idxs = buf.l1d_idx
+                if idxs and idxs[-1] == l1d_index:
+                    buf.l1d_cyc[-1] = cycle
+                    buf.l1d_cnt[-1] += 1
+                else:
+                    idxs.append(l1d_index)
+                    buf.l1d_cyc.append(cycle)
+                    buf.l1d_cnt.append(1)
+                latency = self._l1d_cycles
+            else:
+                latency = self._serve_read_from_l2(block, cycle)
+
+        self._run_refs += 1
+        if latency > 1:
+            self._run_stall += latency - 1
+        index += 1
+        self._next_index = index
+        if index >= self._num_records:
+            self._run_busy += 1
+            self.commit_run()
+            self._finish(cycle + latency)
+            return None
+        gap = self._gaps[index]
+        self._run_busy += 1 + gap
+        if gap:
+            # Inlined common case of the gap accounting: charge the L1I
+            # energy tallies; hand off to _ifetch_run only when a real
+            # instruction fetch falls due.
+            self._run_instr += gap
+            buf.l1i_reads += gap
+            buf.instructions += gap
+            since = self._instructions_since_ifetch + gap
+            if since < self.ifetch_interval:
+                self._instructions_since_ifetch = since
+            else:
+                self._ifetch_run(cycle + latency, since)
+        return cycle + latency + gap
+
+    def land_run(self) -> None:
+        """Land the pending timestamp touches; keep the run open.
+
+        Bulk-applies the coalesced per-cache touch lists so the array state
+        (replacement stamps, refresh timestamps, WB Counts) is exactly what
+        sequential execution would show, then drops the cached block
+        resolution.  The counter tallies and per-core statistics stay
+        pending -- nothing reads them until the run is committed -- so a
+        landing is a cache-level bulk write, not a protocol transaction.
+
+        Called by the run-ahead driver before any queued event executes
+        (refresh work reads and rewrites the timestamp vectors), and by the
+        core itself before its own slow accesses (whose victim choices read
+        the LRU stamps).  Safe and cheap when nothing is pending.
+        """
+        if self._run.land_touches(self._l1d, self._l1i, self._l2):
+            self._protocol.run_landings += 1
+        self._cb = -1
+        self._cb_epoch = -1
+
+    def commit_run(self) -> None:
+        """Commit the whole pending run: touches, tallies and statistics.
+
+        One staged ``hit_run`` call resolves everything the run deferred;
+        called when the core drains its trace (and harmless when nothing is
+        pending).
+        """
+        if self._run_refs or self._run_instr:
+            stats = self.stats
+            stats.references_completed += self._run_refs
+            stats.busy_cycles += self._run_busy
+            stats.stall_cycles += self._run_stall
+            stats.instructions_executed += self._run_instr
+            self._run_refs = 0
+            self._run_busy = 0
+            self._run_stall = 0
+            self._run_instr = 0
+        buf = self._run
+        if not buf.empty():
+            self._commit_run(self.core_id, buf)
+        self._cb = -1
+        self._cb_epoch = -1
+
+    def _resolve_block(self, block: int, cycle: int, write: bool) -> bool:
+        """Validate one block for run membership; cache the resolution.
+
+        Returns True when the reference can be served privately: the L1D
+        holds the block, or the L2 does (reads fill the L1D; writes
+        additionally need M/E, checked by :meth:`_resolve_write`).  Any
+        refresh blocking (``busy_horizon``) disqualifies the block so the
+        slow path performs the stall accounting.  The resolution stays
+        valid until the protocol epoch moves -- one probe and state check
+        covers every consecutive reference to the same line.
+        """
+        self._cb = block
+        self._cb_epoch = self._epoch[0]
+        self._cb_l1d = -1
+        self._cb_l2 = -1
+        self._cb_wok = False
+        l1d = self._l1d
+        if cycle < l1d.busy_horizon:
+            return False
+        l1d_index = l1d.probe_index(block)
+        if l1d_index >= 0:
+            self._cb_l1d = l1d_index
+            if not write:
+                return True
+        else:
+            l2 = self._l2
+            if cycle < l2.busy_horizon:
+                return False
+            l2_index = l2.probe_index(block)
+            if l2_index < 0:
+                return False
+            self._cb_l2 = l2_index
+            if not write:
+                return True
+        return self._resolve_write(cycle)
+
+    def _resolve_write(self, cycle: int) -> bool:
+        """Check write permission on the cached block's L2 line.
+
+        M passes as-is; E is silently upgraded to M in place (the same
+        local transition the sequential write path performs); S needs a
+        directory upgrade and I a fetch, both slow.
+        """
+        l2 = self._l2
+        if cycle < l2.busy_horizon:
+            return False
+        l2_index = self._cb_l2
+        if l2_index < 0:
+            l2_index = l2.probe_index(self._cb)
+            if l2_index < 0:
+                return False
+            self._cb_l2 = l2_index
+        code = l2.state_code(l2_index)
+        if code == MESI_MODIFIED:
+            self._cb_wok = True
+            return True
+        if code == MESI_EXCLUSIVE:
+            l2.set_state_code(l2_index, MESI_MODIFIED)
+            self._cb_wok = True
+            return True
+        return False
+
+    def _serve_read_from_l2(self, block: int, cycle: int) -> int:
+        """An L1D-missing read served by the L2: touch L2, fill the L1D.
+
+        The fill is applied eagerly (after landing the pending L1D touches,
+        whose stamps decide the victim) because it changes which blocks the
+        L1D holds; the timestamp and counter effects stay deferred.
+        Returns the reference's latency.
+        """
+        buf = self._run
+        buf.l1d_misses += 1
+        buf.l2_reads += 1
+        buf.l2_hits += 1
+        # The L2 is stamped when its access completes, the same cycle the
+        # L1D fill lands.
+        latency = self._l1d_cycles + self._l2_cycles
+        l2_index = self._cb_l2
+        idxs = buf.l2_idx
+        touch_cycle = cycle + latency
+        if idxs and idxs[-1] == l2_index:
+            buf.l2_cyc[-1] = touch_cycle
+            buf.l2_cnt[-1] += 1
+        else:
+            idxs.append(l2_index)
+            buf.l2_cyc.append(touch_cycle)
+            buf.l2_cnt.append(1)
+        l1d = self._l1d
+        if buf.land_touches(l1d, None, None):
+            self._protocol.run_landings += 1
+        buf.l1d_writes += 1
+        self._cb_l1d = l1d.fill_block(block, MESI_SHARED, cycle + latency)
+        return latency
+
+    def _ifetch_run(self, cycle: int, since: int) -> None:
+        """Issue the real instruction fetches a gap has made due.
+
+        The per-instruction energy tallies were already recorded inline;
+        this handles only the interval crossings.  A fetch whose code line
+        hits the L1I joins the run (its latency is never on the critical
+        path); a miss or a refresh-blocked L1I lands the run and walks the
+        protocol like any other slow access.
+        """
+        buf = self._run
+        interval = self.ifetch_interval
+        while since >= interval:
+            since -= interval
+            address = self.code_base_address + self._code_offset
+            self._code_offset = (
+                self._code_offset + self._line_bytes
+            ) % self.code_region_bytes
+            l1i = self._l1i
+            if cycle >= l1i.busy_horizon:
+                l1i_index = l1i.probe_index(address & self._block_mask)
+                if l1i_index >= 0:
+                    buf.l1i_reads += 1
+                    buf.l1i_hits += 1
+                    idxs = buf.l1i_idx
+                    if idxs and idxs[-1] == l1i_index:
+                        buf.l1i_cyc[-1] = cycle
+                        buf.l1i_cnt[-1] += 1
+                    else:
+                        idxs.append(l1i_index)
+                        buf.l1i_cyc.append(cycle)
+                        buf.l1i_cnt.append(1)
+                    continue
+            # Refresh-stalled or L1I miss: a real protocol walk.
+            self._instructions_since_ifetch = since
+            self.land_run()
+            self.hierarchy.instruction_fetch(self.core_id, address, cycle)
+        self._instructions_since_ifetch = since
 
     def _on_reference(self, cycle: int, _payload: Any) -> None:
         issue_time = self.step(cycle)

@@ -88,6 +88,20 @@ class CacheHierarchy:
         """Instruction fetch; returns the end-to-end latency in cycles."""
         return self.protocol.instruction_fetch(core_id, address, cycle)
 
+    def commit_hit_run(self, core_id: int, buf) -> None:
+        """Commit a core's pending private-hit run in one staged call.
+
+        See :meth:`~repro.coherence.protocol.DirectoryProtocol.hit_run`;
+        the run-ahead driver and the cores call this through the hierarchy
+        so the protocol object stays an implementation detail.
+        """
+        self.protocol.hit_run(core_id, buf)
+
+    @property
+    def protocol_calls(self) -> int:
+        """Access-path protocol invocations so far (see ``ReplayStats``)."""
+        return self.protocol.protocol_calls
+
     def flush_dirty(self, cycle: int) -> None:
         """Write all dirty data back to DRAM (end-of-run accounting)."""
         self.protocol.flush_dirty(cycle)

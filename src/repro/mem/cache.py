@@ -175,6 +175,7 @@ class Cache:
             # (transliterations of the original per-line-object code).
             self.probe_index = self._probe_index_object
             self.access_index = self._access_index_object
+            self.access_run = self._access_run_object
             self.choose_victim_index = self._choose_victim_index_object
             self.fill_index = self._fill_index_object
             self.invalidate_index = self._invalidate_index_object
@@ -333,6 +334,40 @@ class Cache:
                 return index
         return -1
 
+    def access_run(
+        self,
+        indices: Sequence[int],
+        cycles: Sequence[int],
+        counts: Sequence[int],
+    ) -> None:
+        """Commit a run of staged hits in one bulk call.
+
+        The entries are parallel: entry ``k`` records that the line at
+        ``indices[k]`` was hit ``counts[k]`` consecutive times, the last at
+        cycle ``cycles[k]``.  Because consecutive hits to the same line only
+        leave the *final* timestamps and LRU stamp behind, committing the
+        coalesced run leaves the arrays byte-identical to ``sum(counts)``
+        sequential :meth:`access_index` calls (pinned by
+        ``tests/test_property_access_run.py``); the LRU tick still advances
+        once per underlying hit so stamps interleave correctly with fills
+        and with other lines' runs.
+        """
+        arrays = self.arrays
+        last_access = arrays.last_access_cycle
+        last_refresh = arrays.last_refresh_cycle
+        refresh_count = arrays.refresh_count
+        stamps = arrays.lru_stamp
+        tick = self._lru_tick
+        for k in range(len(indices)):
+            index = indices[k]
+            cycle = cycles[k]
+            last_access[index] = cycle
+            last_refresh[index] = cycle
+            refresh_count[index] = -1
+            tick += counts[k]
+            stamps[index] = tick
+        self._lru_tick = tick
+
     def choose_victim_index(self, block_address: int) -> int:
         """Index of the LRU victim in the block's set (invalid ways first)."""
         local = block_address >> self._line_shift
@@ -441,6 +476,21 @@ class Cache:
         self._lru_tick = tick
         line.lru_stamp = tick
         return result.set_idx * self._assoc + result.way
+
+    def _access_run_object(
+        self,
+        indices: Sequence[int],
+        cycles: Sequence[int],
+        counts: Sequence[int],
+    ) -> None:
+        views = self._views
+        tick = self._lru_tick
+        for k in range(len(indices)):
+            line = views[indices[k]]
+            line.touch(cycles[k])
+            tick += counts[k]
+            line.lru_stamp = tick
+        self._lru_tick = tick
 
     def _choose_victim_index_object(self, block_address: int) -> int:
         set_idx, _ = self.set_and_tag(block_address)

@@ -93,11 +93,39 @@ class RefrintRefreshController(RefreshController):
         # An empty cache has nothing due before one full sentry retention.
         wheel = self.wheel
         slack = self._slack
+        probe = self._group_probe
         first = cycle + self._sentry_retention
         for group in self.groups:
-            wheel.schedule(first, first + slack, self._handler, payload=group)
+            wheel.schedule(
+                first, first + slack, self._handler, payload=group, probe=probe
+            )
 
     # -- event handling --------------------------------------------------------
+
+    def _group_probe(self, cycle: int, payload: Any) -> Any:
+        """Per-group due-time check consulted by the wheel before a scan.
+
+        Returns None when the group holds at least one line whose Sentry
+        bit has decayed by ``cycle`` -- the interrupt must be served.
+        Otherwise every predicted-decayed line was recharged by an access
+        since the timer was armed, and the handler would do nothing but
+        reschedule; the return value is exactly the fire time the handler
+        would have armed (earliest last-refresh plus the sentry retention,
+        capped one retention out), so skipping the scan is unobservable.
+        Shared by all three handler variants, whose no-due-work reschedule
+        logic is identical.
+        """
+        sentry_retention = self._sentry_retention
+        earliest = self.cache.min_last_refresh(
+            payload[0], payload[1], self._include_invalid
+        )
+        horizon = cycle + sentry_retention
+        if earliest is None:
+            return horizon
+        if earliest <= cycle - sentry_retention:
+            return None
+        next_time = earliest + sentry_retention
+        return horizon if next_time > horizon else next_time
 
     def _on_group_interrupt(self, cycle: int, payload: Any) -> None:
         start, end = payload
@@ -233,6 +261,7 @@ class RefrintRefreshController(RefreshController):
         self.wheel.schedule(
             next_time, next_time + self._slack,
             self._on_group_interrupt_fast, payload=payload,
+            probe=self._group_probe,
         )
 
     def _on_group_interrupt_vector(self, cycle: int, payload: Any) -> None:
@@ -286,6 +315,7 @@ class RefrintRefreshController(RefreshController):
         self.wheel.schedule(
             next_time, next_time + self._slack,
             self._on_group_interrupt_vector, payload=payload,
+            probe=self._group_probe,
         )
 
     def _reschedule(
@@ -306,6 +336,7 @@ class RefrintRefreshController(RefreshController):
         self.wheel.schedule(
             next_time, next_time + self._slack,
             self._on_group_interrupt, payload=group,
+            probe=self._group_probe,
         )
 
     def _refreshes_invalid_lines(self) -> bool:

@@ -30,6 +30,17 @@ cause a cancel + re-arm; the queue's heap compaction (see
 :meth:`~repro.utils.events.EventQueue._note_cancelled`) keeps those
 cancelled entries from accumulating.
 
+An entry may carry a *due probe*: a cheap predicate consulted when the
+entry comes up in a drain.  If the probe reports that the entry's group has
+no due work (its predicted earliest decay was pushed out by ordinary
+accesses recharging the lines) it returns the group's new earliest service
+time and the wheel re-buckets the entry without invoking the callback --
+the per-group due-time index that lets the Refrint interrupt scans skip
+groups with nothing to serve.  A probe must answer exactly as the callback
+would have: return None whenever the callback would perform any observable
+work at this cycle, and otherwise the same next fire time the callback
+would have armed.
+
 Determinism: drains happen at exact deadline cycles, entries are processed
 in (bucket index, insertion order) order, and the wheel itself never
 consults wall-clock state -- so simulations are reproducible and identical
@@ -48,8 +59,14 @@ from repro.utils.events import Event, EventQueue
 #: coalesce into one queue event.
 DEFAULT_BUCKET_CYCLES = 64
 
-#: An entry: (ready cycle, deadline cycle, callback, payload).
-WheelEntry = Tuple[int, int, Callable[[int, Any], None], Any]
+#: An entry: (ready cycle, deadline cycle, callback, payload, probe).
+#: ``probe`` is None for always-served entries; otherwise
+#: ``probe(cycle, payload)`` returns None to serve the entry now, or the
+#: next cycle at which the entry's group can possibly have due work.
+WheelEntry = Tuple[
+    int, int, Callable[[int, Any], None], Any,
+    Optional[Callable[[int, Any], Optional[int]]],
+]
 
 
 class RefreshWheel:
@@ -77,6 +94,9 @@ class RefreshWheel:
         self._draining = False
         #: Number of times the queue event fired (drains), for diagnostics.
         self.drains = 0
+        #: Entries re-bucketed by their due probe instead of being served
+        #: (group interrupt scans skipped), for diagnostics.
+        self.skips = 0
 
     def __len__(self) -> int:
         return self._len
@@ -87,20 +107,24 @@ class RefreshWheel:
         deadline: int,
         callback: Callable[[int, Any], None],
         payload: Any = None,
+        probe: Optional[Callable[[int, Any], Optional[int]]] = None,
     ) -> None:
         """Add a timer servable anywhere in ``[ready, deadline]`` cycles.
 
         ``callback(cycle, payload)`` runs during some drain at a cycle in
         that window.  Periodic (exact) timers pass ``deadline == ready``.
+        ``probe``, if given, is consulted first at service time: returning
+        None serves the entry, returning a cycle re-buckets it there (with
+        the same slack) without running the callback.
         """
         if deadline < ready:
             raise ValueError(f"deadline {deadline} precedes ready {ready}")
         bucket = deadline // self.bucket_cycles
         entries = self._buckets.get(bucket)
         if entries is None:
-            self._buckets[bucket] = [(ready, deadline, callback, payload)]
+            self._buckets[bucket] = [(ready, deadline, callback, payload, probe)]
         else:
-            entries.append((ready, deadline, callback, payload))
+            entries.append((ready, deadline, callback, payload, probe))
         self._len += 1
         # During a drain the handler re-arms once at the end; outside one,
         # pull the armed event earlier if this deadline precedes it.
@@ -152,10 +176,24 @@ class RefreshWheel:
         self._len -= len(due)
         # Callbacks reschedule their groups through schedule(); defer the
         # re-arm until every handler has run so the whole burst costs one
-        # queue operation.
+        # queue operation.  An entry with a due probe is asked first: if
+        # its group has nothing due (every predicted-decayed line was
+        # recharged by an access since the timer was armed), the entry is
+        # re-bucketed at the group's new earliest possible decay and the
+        # scan is skipped entirely.
         self._draining = True
+        schedule = self.schedule
         try:
-            for _ready, _deadline, callback, payload in due:
+            for ready, deadline, callback, payload, probe in due:
+                if probe is not None:
+                    next_ready = probe(cycle, payload)
+                    if next_ready is not None:
+                        self.skips += 1
+                        schedule(
+                            next_ready, next_ready + (deadline - ready),
+                            callback, payload, probe,
+                        )
+                        continue
                 callback(cycle, payload)
         finally:
             self._draining = False

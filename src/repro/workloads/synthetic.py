@@ -43,6 +43,14 @@ try:  # numpy vectorises generation; the scalar fallback needs nothing.
 except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
     np = None
 
+#: Which trace generator this environment runs: the vectorised PCG64 path
+#: ("numpy") or the scalar Mersenne-Twister fallback ("scalar").  Both are
+#: deterministic in (seed, thread id) but draw *different* (equally valid)
+#: streams, so anything keyed by a workload recipe -- campaign job hashes,
+#: persistent result stores -- must carry this tag to keep results from the
+#: two environments apart.
+TRACE_GENERATOR_PROVENANCE = "numpy" if np is not None else "scalar"
+
 from repro.cpu.trace import MemoryOperation, TraceRecord, TraceStream
 
 #: Base of the shared data region in the simulated address space.

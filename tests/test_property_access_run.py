@@ -1,0 +1,218 @@
+"""Property-based equivalence of the batched hit-run access path.
+
+Two layers, both driven by hypothesis:
+
+* **Cache level** -- :meth:`~repro.mem.cache.Cache.access_run` applied to a
+  coalesced run must leave every state vector (timestamps, LRU stamps, WB
+  Count, the internal LRU tick) byte-identical to the equivalent sequence
+  of per-hit :meth:`~repro.mem.cache.Cache.access_index` calls, on every
+  backend, for arbitrary interleavings of lines and fills.
+
+* **Simulator level** -- for random multi-core traces under an aggressive
+  Refrint configuration (tight retention, so runs truncate at refresh-wheel
+  deadlines and references queue behind refresh-busy arrays) and random
+  sharing patterns (so runs truncate at coherence invalidations, upgrades
+  and owner recalls), run-ahead replay -- the batched path -- must produce
+  results byte-identical to per-reference event replay on every available
+  backend.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config.parameters import (
+    CacheGeometry,
+    DataPolicySpec,
+    RefreshConfig,
+    SimulationConfig,
+    TimingPolicyKind,
+)
+from repro.config.presets import scaled_architecture, scaled_retention_cycles
+from repro.core.simulator import RefrintSimulator
+from repro.cpu.trace import MemoryOperation, TraceRecord, TraceStream
+from repro.mem.arrays import HAVE_NUMPY
+from repro.mem.cache import Cache
+from repro.workloads.suite import ApplicationWorkload, build_application
+
+BACKENDS = ("array", "object") + (("numpy",) if HAVE_NUMPY else ())
+
+
+def small_geometry() -> CacheGeometry:
+    return CacheGeometry(
+        name="prop", size_bytes=2048, associativity=2, line_bytes=64,
+        access_cycles=2, write_back=True, num_refresh_groups=2,
+        sentry_group_size=4,
+    )
+
+
+def cache_state(cache: Cache) -> list:
+    """Complete observable per-line state plus the LRU tick."""
+    lines = []
+    for index in range(cache.num_lines):
+        view = cache.view(index)
+        lines.append(
+            (
+                view.tag,
+                view.state.value,
+                view.valid,
+                view.dirty,
+                view.last_access_cycle,
+                view.last_refresh_cycle,
+                view.refresh_count,
+                view.lru_stamp,
+            )
+        )
+    lines.append(cache._lru_tick)
+    return lines
+
+
+# One operation: ("hit", line ordinal, repeat count) against previously
+# filled blocks, or ("fill", block ordinal) installing a new block.
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("hit"), st.integers(0, 11), st.integers(1, 5)),
+        st.tuples(st.just("fill"), st.integers(0, 11)),
+    ),
+    min_size=1,
+    max_size=24,
+)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@settings(max_examples=60, deadline=None)
+@given(ops=OPS)
+def test_access_run_matches_sequential_access_index(backend, ops):
+    """A coalesced committed run == the same hits taken one at a time."""
+    geometry = small_geometry()
+    blocks = [i * geometry.line_bytes for i in range(12)]
+
+    sequential = Cache(geometry, backend=backend)
+    batched = Cache(geometry, backend=backend)
+
+    filled: list = []
+    run_idx: list = []
+    run_cyc: list = []
+    run_cnt: list = []
+    cycle = 0
+
+    def land():
+        if run_idx:
+            batched.access_run(run_idx, run_cyc, run_cnt)
+            run_idx.clear()
+            run_cyc.clear()
+            run_cnt.clear()
+
+    for op in ops:
+        if op[0] == "fill" or not filled:
+            block = blocks[op[1] % len(blocks)]
+            cycle += 3
+            # A fill is a structural operation: the pending run must land
+            # first (its stamps decide the victim), exactly as the cores'
+            # eager-fill path does.
+            sequential.fill_block(block, 1, cycle)
+            land()
+            batched.fill_block(block, 1, cycle)
+            if block not in filled:
+                filled.append(block)
+        else:
+            _, ordinal, repeat = op
+            block = filled[ordinal % len(filled)]
+            index = None
+            for _ in range(repeat):
+                cycle += 1
+                index = sequential.access_index(block, cycle)
+                assert index >= 0
+            if run_idx and run_idx[-1] == index:
+                run_cyc[-1] = cycle
+                run_cnt[-1] += repeat
+            else:
+                run_idx.append(index)
+                run_cyc.append(cycle)
+                run_cnt.append(repeat)
+    land()
+    assert cache_state(batched) == cache_state(sequential)
+
+
+# -- simulator level ----------------------------------------------------------
+
+
+def _refrint_config(architecture, retention_us: float):
+    retention = scaled_retention_cycles(retention_us)
+    refresh = RefreshConfig(
+        retention_cycles=retention,
+        sentry_margin_cycles=RefreshConfig.derive_sentry_margin(
+            architecture.l3_bank.num_lines, retention
+        ),
+        timing_policy=TimingPolicyKind.REFRINT,
+        l3_data_policy=DataPolicySpec.writeback(2, 2),
+    )
+    return SimulationConfig.edram(refresh, architecture)
+
+
+@st.composite
+def random_workloads(draw):
+    """Per-core traces mixing private streaks with a shared contended pool."""
+    num_cores = 16
+    line = 64
+    shared_blocks = [0x1000_0000 + i * line for i in range(8)]
+    traces = []
+    for core in range(num_cores):
+        length = draw(st.integers(0, 24))
+        records = []
+        private_base = 0x8000_0000 + core * 0x10_000
+        for _ in range(length):
+            kind = draw(st.integers(0, 3))
+            if kind == 0:  # shared, contended: upgrades/recalls cut runs
+                address = draw(st.sampled_from(shared_blocks))
+            else:  # private streak with word-level spatial locality
+                address = private_base + draw(st.integers(0, 63)) * 8
+            records.append(
+                TraceRecord(
+                    address=address,
+                    operation=(
+                        MemoryOperation.WRITE
+                        if draw(st.booleans())
+                        else MemoryOperation.READ
+                    ),
+                    gap_instructions=draw(st.integers(0, 6)),
+                )
+            )
+        traces.append(TraceStream(records, thread_id=core))
+    return traces
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(traces=random_workloads(), retention_us=st.sampled_from([5.0, 50.0]))
+def test_runahead_batching_matches_event_replay(traces, retention_us):
+    """Byte-identical results with runs truncated by refresh and coherence.
+
+    The 5 us retention point drives the refresh wheel hard: sentry timers
+    fire constantly, arrays go refresh-busy (``busy_horizon`` forces run
+    references down the slow path), and WB(2, 2) exhausts its Count quickly
+    so policy write-backs and invalidations interleave with the runs.
+    """
+    architecture = scaled_architecture()
+    spec = build_application("fft", architecture, length_scale=0.01).spec
+    workload = ApplicationWorkload(spec=spec, traces=tuple(traces))
+    config = _refrint_config(architecture, retention_us)
+
+    reference = None
+    for backend in BACKENDS:
+        for replay in ("event", "runahead"):
+            result = RefrintSimulator(
+                config, cache_backend=backend, replay=replay
+            ).run(workload)
+            canonical = json.dumps(result.to_dict(), sort_keys=True)
+            if reference is None:
+                reference = canonical
+            else:
+                assert canonical == reference, (backend, replay)

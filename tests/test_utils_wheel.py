@@ -167,3 +167,123 @@ class TestControllerIntegration:
         assert controller.wheel is not None
         controller.start(0)
         assert controller.next_disturbance_cycle() is not None
+
+
+class TestDueProbe:
+    """Per-group due-time probes: skip-and-rearm instead of serving."""
+
+    def test_probe_none_serves_the_entry(self, queue):
+        wheel = RefreshWheel(queue, bucket_cycles=16)
+        fired = []
+        wheel.schedule(
+            20, 25, lambda t, p: fired.append((t, p)), payload="g",
+            probe=lambda cycle, payload: None,
+        )
+        queue.run()
+        assert fired == [(25, "g")]
+        assert wheel.skips == 0
+
+    def test_probe_reschedules_without_serving(self, queue):
+        wheel = RefreshWheel(queue, bucket_cycles=16)
+        fired = []
+        answers = iter([90, None])  # first service: nothing due until 90
+
+        def probe(cycle, payload):
+            return next(answers)
+
+        wheel.schedule(
+            20, 24, lambda t, p: fired.append((t, p)), payload="g", probe=probe
+        )
+        queue.run(until=50)
+        assert fired == []
+        assert wheel.skips == 1
+        assert len(wheel) == 1
+        # Slack (deadline - ready == 4) is preserved across the re-bucket.
+        assert wheel.next_deadline() == 94
+        queue.run()
+        assert fired == [(94, "g")]
+
+    def test_skipped_entry_keeps_payload_and_probe(self, queue):
+        wheel = RefreshWheel(queue, bucket_cycles=8)
+        seen = []
+
+        def probe(cycle, payload):
+            seen.append((cycle, payload))
+            return cycle + 30 if len(seen) < 3 else None
+
+        fired = []
+        wheel.schedule(10, 10, lambda t, p: fired.append(p), "grp", probe)
+        queue.run()
+        assert [p for _, p in seen] == ["grp", "grp", "grp"]
+        assert wheel.skips == 2
+        assert fired == ["grp"]
+
+    def test_entries_without_probe_are_unaffected(self, queue):
+        wheel = RefreshWheel(queue, bucket_cycles=16)
+        fired = []
+        wheel.schedule(10, 10, lambda t, p: fired.append("plain"))
+        wheel.schedule(
+            10, 10, lambda t, p: fired.append("probed"),
+            probe=lambda cycle, payload: None,
+        )
+        queue.run()
+        assert fired == ["plain", "probed"]
+
+
+class TestRefrintProbeEquivalence:
+    """The Refrint group probe skips exactly the no-due-work scans."""
+
+    def test_probe_skips_are_unobservable(self, tiny_architecture, monkeypatch):
+        # A simulation with due probes active must be byte-identical to the
+        # same simulation with every entry forced through the handlers
+        # (probe disabled), and the probed run must actually skip scans --
+        # otherwise an over-eager probe could diverge identically in every
+        # replay mode and no equivalence test would notice.
+        import json
+
+        from repro.config.parameters import (
+            DataPolicySpec, RefreshConfig, SimulationConfig, TimingPolicyKind,
+        )
+        from repro.config.presets import scaled_retention_cycles
+        from repro.core.simulator import RefrintSimulator
+        from repro.refresh.refrint import RefrintRefreshController
+        from repro.workloads.suite import build_application
+
+        architecture = tiny_architecture
+        retention = scaled_retention_cycles(50.0)
+        refresh = RefreshConfig(
+            retention_cycles=retention,
+            sentry_margin_cycles=RefreshConfig.derive_sentry_margin(
+                architecture.l3_bank.num_lines, retention
+            ),
+            timing_policy=TimingPolicyKind.REFRINT,
+            l3_data_policy=DataPolicySpec.writeback(4, 4),
+        )
+        config = SimulationConfig.edram(refresh, architecture)
+        workload = build_application("fft", architecture, length_scale=0.02)
+
+        wheels = []
+        original_init = RefreshWheel.__init__
+
+        def tracking_init(self, *args, **kwargs):
+            original_init(self, *args, **kwargs)
+            wheels.append(self)
+
+        monkeypatch.setattr(RefreshWheel, "__init__", tracking_init)
+
+        probed = RefrintSimulator(config).run(workload)
+        assert wheels and sum(w.skips for w in wheels) > 0, (
+            "the probe never skipped a scan; the test exercises nothing"
+        )
+
+        wheels.clear()
+        monkeypatch.setattr(
+            RefrintRefreshController,
+            "_group_probe",
+            lambda self, cycle, payload: None,  # always serve the handler
+        )
+        unprobed = RefrintSimulator(config).run(workload)
+        assert wheels and sum(w.skips for w in wheels) == 0
+
+        canonical = lambda r: json.dumps(r.to_dict(), sort_keys=True)  # noqa: E731
+        assert canonical(probed) == canonical(unprobed)
