@@ -20,6 +20,11 @@ flag (i.e. the committed baseline) as the reference, then fails on a
   hit-run access path, equally deterministic.  Compared only when the
   baseline already records them (older trajectory points predate the
   metric);
+* ``kernel_coverage`` (both legs) and ``kernel.protocol_calls`` -- the
+  share of private-hit references retired through batch-replay kernel
+  scans and the kernel leg's protocol-call count, both exact functions of
+  the code and the workload.  Compared only when both points record a
+  kernel leg (older points, and no-numpy hosts, have none);
 * ``speedup`` / ``staged_speedup`` -- same-host wall-clock ratios
   (object time over run-ahead / staged time), where machine speed cancels
   out and only the relative cost of the fast paths remains.  These get a
@@ -122,6 +127,34 @@ def main() -> int:
             fresh["private_hit"]["protocol_call_reduction"],
             baseline["private_hit"]["protocol_call_reduction"],
             lower_is_better=False,
+        )
+    if "kernel" in baseline and "kernel" in fresh:
+        require(
+            "kernel_coverage",
+            fresh["kernel_coverage"],
+            baseline["kernel_coverage"],
+            lower_is_better=False,
+        )
+        require(
+            "kernel.protocol_calls",
+            fresh["kernel"]["protocol_calls"],
+            baseline["kernel"]["protocol_calls"],
+            lower_is_better=True,
+        )
+    fresh_ph = fresh.get("private_hit", {})
+    base_ph = baseline.get("private_hit", {})
+    if "kernel" in base_ph and "kernel" in fresh_ph:
+        require(
+            "private_hit.kernel_coverage",
+            fresh_ph["kernel_coverage"],
+            base_ph["kernel_coverage"],
+            lower_is_better=False,
+        )
+        require(
+            "private_hit.kernel.protocol_calls",
+            fresh_ph["kernel"]["protocol_calls"],
+            base_ph["kernel"]["protocol_calls"],
+            lower_is_better=True,
         )
     require(
         "speedup", fresh["speedup"], baseline["speedup"],

@@ -14,6 +14,17 @@ Two jobs are measured:
   protocol-level access batching is about: nearly every reference rides a
   hit run.
 
+When numpy is installed, both jobs additionally measure a ``kernel`` leg:
+the run-ahead loop with the columnar batch-replay kernel
+(``kernel="numpy"``), which retires whole private-hit stretches per call.
+The kernel leg is gated on two *exact* counts, not wall-clock: at least
+``MIN_KERNEL_COVERAGE`` of the private-hit references must retire through
+kernel batches, and its ``protocol_calls`` must equal the plain run-ahead
+leg's (the kernel batches scans, it must never add protocol traffic).
+Wall-clock is recorded but not gated -- at benchmark trace lengths the
+Python-side staging overhead dominates and the kernel is not expected to
+win; the gate is coverage, which is what scales.
+
 All variants of a job produce byte-identical results (pinned here and by
 ``tests/test_backend_equivalence.py``).  Each variant records wall-clock,
 accesses-per-second and two *exact* structural metrics:
@@ -64,6 +75,7 @@ from repro.config.parameters import (
 )
 from repro.config.presets import scaled_architecture, scaled_retention_cycles
 from repro.core.simulator import RefrintSimulator
+from repro.mem.arrays import HAVE_NUMPY
 from repro.workloads.suite import build_application
 
 QUICK = os.environ.get("REFRINT_HOTPATH_QUICK", "") not in ("", "0")
@@ -83,24 +95,33 @@ MIN_EVENT_REDUCTION = 5.0
 #: slow-path), hence the lower bar.
 MIN_PROTOCOL_REDUCTION = 4.0 if QUICK else 5.0
 
+#: Required share of private-hit references retired through kernel
+#: batches (exact counts: ``kernel_accesses / private_hit_references``).
+#: Both benchmark applications measure ~0.97-0.98 at these trace lengths.
+MIN_KERNEL_COVERAGE = 0.90
+
 #: Timing repetitions (best-of): absorbs scheduler noise on shared runners.
 #: Overridable for very noisy hosts, where more rounds give best-of a
 #: better chance of hitting an undisturbed slot.
 ROUNDS = int(os.environ.get("REFRINT_HOTPATH_ROUNDS", "0")) or (2 if QUICK else 3)
 
-#: The three measured variants: label -> (cache backend, replay mode).
+#: The measured variants: label -> (cache backend, replay mode, kernel).
 VARIANTS = {
-    "object": ("object", "event"),
-    "staged": ("array", "event"),
-    "runahead": ("array", "runahead"),
+    "object": ("object", "event", "off"),
+    "staged": ("array", "event", "off"),
+    "runahead": ("array", "runahead", "off"),
 }
+if HAVE_NUMPY:
+    VARIANTS["kernel"] = ("array", "runahead", "numpy")
 
 #: The private-hit leg's application and measured variants.
 PRIVATE_HIT_APPLICATION = "blackscholes"
 PRIVATE_HIT_VARIANTS = {
-    "staged": ("array", "event"),
-    "runahead": ("array", "runahead"),
+    "staged": ("array", "event", "off"),
+    "runahead": ("array", "runahead", "off"),
 }
+if HAVE_NUMPY:
+    PRIVATE_HIT_VARIANTS["kernel"] = ("array", "runahead", "numpy")
 
 BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
 
@@ -127,13 +148,15 @@ def workload(config):
     )
 
 
-def _measure(config, workload, backend: str, replay: str):
+def _measure(config, workload, backend: str, replay: str, kernel: str = "off"):
     """Best-of-N wall-clock for one variant; returns (seconds, result, stats)."""
     best = None
     result = None
     stats = None
     for _ in range(ROUNDS):
-        simulator = RefrintSimulator(config, cache_backend=backend, replay=replay)
+        simulator = RefrintSimulator(
+            config, cache_backend=backend, replay=replay, kernel=kernel
+        )
         start = time.perf_counter()
         result = simulator.run(workload)
         elapsed = time.perf_counter() - start
@@ -149,13 +172,19 @@ def _accesses(result) -> int:
 
 
 def _variant_point(seconds: float, accesses: int, stats) -> dict:
-    return {
+    point = {
         "wall_seconds": round(seconds, 4),
         "accesses_per_second": round(accesses / seconds),
         "events_popped": stats.events_popped,
         "protocol_calls": stats.protocol_calls,
         "run_landings": stats.run_landings,
     }
+    if stats.kernel_batches:
+        point["kernel_batches"] = stats.kernel_batches
+        point["kernel_accesses"] = stats.kernel_accesses
+        point["slow_references"] = stats.slow_references
+        point["kernel_coverage"] = round(stats.kernel_coverage, 4)
+    return point
 
 
 def _append_trajectory_point(point: dict) -> None:
@@ -188,10 +217,35 @@ def emitted_point():
         _append_trajectory_point(point)
 
 
+def _gate_kernel(measurements: dict, job: str) -> None:
+    """Exact-count gates for the kernel leg of one job (if measured)."""
+    if "kernel" not in measurements:
+        return
+    stats = measurements["kernel"][2]
+    plain = measurements["runahead"][2]
+    # Exact counts: >= MIN_KERNEL_COVERAGE of the private-hit stream must
+    # retire through kernel batches.  Integer arithmetic, no float slack.
+    assert (
+        stats.kernel_accesses * 100
+        >= int(MIN_KERNEL_COVERAGE * 100) * stats.private_hit_references
+    ), (
+        f"kernel batches only cover {stats.kernel_coverage:.3f} of the "
+        f"private-hit references on {job} "
+        f"(kernel_accesses {stats.kernel_accesses}, "
+        f"private_hit {stats.private_hit_references}; "
+        f"required {MIN_KERNEL_COVERAGE})"
+    )
+    assert stats.protocol_calls == plain.protocol_calls, (
+        f"kernel leg changed the protocol-call count on {job} "
+        f"(kernel {stats.protocol_calls}, runahead {plain.protocol_calls}); "
+        f"batching must never add protocol traffic"
+    )
+
+
 def test_hotpath_object_vs_staged_vs_runahead(config, workload, emitted_point):
     measurements = {
-        label: _measure(config, workload, backend, replay)
-        for label, (backend, replay) in VARIANTS.items()
+        label: _measure(config, workload, backend, replay, kernel)
+        for label, (backend, replay, kernel) in VARIANTS.items()
     }
 
     results = {label: m[1] for label, m in measurements.items()}
@@ -200,7 +254,8 @@ def test_hotpath_object_vs_staged_vs_runahead(config, workload, emitted_point):
         label: json.dumps(result.to_dict(), sort_keys=True)
         for label, result in results.items()
     }
-    assert canonical["object"] == canonical["staged"] == canonical["runahead"]
+    for label in canonical:
+        assert canonical[label] == canonical["object"], label
 
     speedup = measurements["object"][0] / measurements["runahead"][0]
     event_reduction = (
@@ -229,6 +284,7 @@ def test_hotpath_object_vs_staged_vs_runahead(config, workload, emitted_point):
         f"(required {MIN_SPEEDUP}x; object {measurements['object'][0]:.3f}s, "
         f"runahead {measurements['runahead'][0]:.3f}s)"
     )
+    _gate_kernel(measurements, workload.name)
 
     # Record only after every gate has passed: a regressed point must never
     # enter the trajectory, where it would become the next baseline.
@@ -244,6 +300,10 @@ def test_hotpath_object_vs_staged_vs_runahead(config, workload, emitted_point):
     )
     point["event_reduction"] = round(event_reduction, 2)
     point["protocol_call_reduction"] = round(protocol_reduction, 2)
+    if "kernel" in measurements:
+        point["kernel_coverage"] = round(
+            measurements["kernel"][2].kernel_coverage, 4
+        )
 
 
 def test_hotpath_private_hit_batching(config, emitted_point):
@@ -252,14 +312,15 @@ def test_hotpath_private_hit_batching(config, emitted_point):
         PRIVATE_HIT_APPLICATION, config.architecture, length_scale=LENGTH_SCALE
     )
     measurements = {
-        label: _measure(config, workload, backend, replay)
-        for label, (backend, replay) in PRIVATE_HIT_VARIANTS.items()
+        label: _measure(config, workload, backend, replay, kernel)
+        for label, (backend, replay, kernel) in PRIVATE_HIT_VARIANTS.items()
     }
     canonical = {
         label: json.dumps(m[1].to_dict(), sort_keys=True)
         for label, m in measurements.items()
     }
-    assert canonical["staged"] == canonical["runahead"]
+    for label in canonical:
+        assert canonical[label] == canonical["staged"], label
 
     accesses = _accesses(measurements["runahead"][1])
     protocol_reduction = (
@@ -273,6 +334,7 @@ def test_hotpath_private_hit_batching(config, emitted_point):
         f"runahead {measurements['runahead'][2].protocol_calls}; "
         f"required {MIN_PROTOCOL_REDUCTION}x)"
     )
+    _gate_kernel(measurements, workload.name)
     # Only gate-passing measurements enter the trajectory.
     emitted_point["private_hit"] = {
         "application": workload.name,
@@ -283,3 +345,7 @@ def test_hotpath_private_hit_batching(config, emitted_point):
             for label, m in measurements.items()
         },
     }
+    if "kernel" in measurements:
+        emitted_point["private_hit"]["kernel_coverage"] = round(
+            measurements["kernel"][2].kernel_coverage, 4
+        )

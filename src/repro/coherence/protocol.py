@@ -96,6 +96,12 @@ class DirectoryProtocol:
         #: resolutions valid.  A one-element list so cores can hold a
         #: direct reference.
         self.run_epoch = [0]
+        #: Cores holding pending run state (non-empty RunBuffer or staged
+        #: touches).  A core appends itself on entering the run path and is
+        #: removed when its run lands or commits; the run-ahead drivers
+        #: drain this instead of calling ``land_run`` on all cores, so
+        #: cores that never ran in a batch cost nothing at the barrier.
+        self.dirty_cores: list = []
 
     # ------------------------------------------------------------------
     # Address helpers

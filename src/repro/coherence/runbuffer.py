@@ -8,6 +8,29 @@ of the hierarchy the cores import.
 from __future__ import annotations
 
 
+def merge_extend(idx, cyc, cnt, nidx, ncyc, ncnt) -> None:
+    """Append one RLE touch list onto another, coalescing across the seam.
+
+    The batch kernel returns its touch sequences already run-length
+    encoded; appending them onto a buffer's pending lists must merge the
+    seam entry when the buffer's last line equals the new list's first --
+    exactly what the scalar loop's per-touch coalescing would have done.
+    The merged entry keeps the *new* cycle (last touch wins) and sums the
+    counts.  ``nidx``/``ncyc``/``ncnt`` are not mutated.
+    """
+    if not nidx:
+        return
+    start = 0
+    if idx and idx[-1] == nidx[0]:
+        cyc[-1] = ncyc[0]
+        cnt[-1] += ncnt[0]
+        start = 1
+    if start < len(nidx):
+        idx.extend(nidx[start:])
+        cyc.extend(ncyc[start:])
+        cnt.extend(ncnt[start:])
+
+
 class RunBuffer:
     """Deferred, commutative effects of a private-cache hit run.
 

@@ -27,6 +27,7 @@ from typing import List, Optional
 from repro.config.parameters import SimulationConfig
 from repro.core.results import SimulationResult
 from repro.cpu.core import Core
+from repro.kernels import resolve_kernel
 from repro.energy.model import ActivitySummary, SystemEnergyModel
 from repro.energy.tables import TechnologyTables
 from repro.hierarchy.hierarchy import CacheHierarchy
@@ -67,12 +68,51 @@ class ReplayStats:
             ``access_run`` sweeps before refresh work or a slow access
             reads the arrays).  Reported alongside ``protocol_calls`` so
             the batching factor hides no residual bulk work.
+        kernel_batches: columnar kernel scans that retired at least one
+            reference (kernel modes only; exact count, CI currency).
+        kernel_accesses: references retired through kernel batches
+            (scanned stretches plus the seam fills stitched between them).
+            The hot-path benchmark gates the ratio of this to the
+            private-hit reference count as the kernel's coverage of the
+            private-hit stream.
+        slow_references: data references that fell off the private fast
+            path and took a full protocol walk.  ``references -
+            slow_references`` is the private-hit stream the kernel
+            coverage gate divides by.
+        empty_landings_skipped: per-drain ``land_run`` calls avoided
+            because the core had deferred nothing since its last landing
+            (the dirty-core registry satellite).
+        resolved_hits / resolved_misses: block validations served from /
+            missed by the per-core resolved-block cache on the run path.
     """
 
     events_popped: int
     references: int
     protocol_calls: int = 0
     run_landings: int = 0
+    kernel_batches: int = 0
+    kernel_accesses: int = 0
+    slow_references: int = 0
+    empty_landings_skipped: int = 0
+    resolved_hits: int = 0
+    resolved_misses: int = 0
+
+    @property
+    def resolved_hit_rate(self) -> float:
+        """Fraction of run-path block validations served by the cache."""
+        total = self.resolved_hits + self.resolved_misses
+        return self.resolved_hits / total if total else 0.0
+
+    @property
+    def private_hit_references(self) -> int:
+        """Data references the private hierarchy served without a walk."""
+        return self.references - self.slow_references
+
+    @property
+    def kernel_coverage(self) -> float:
+        """Fraction of private-hit references retired through the kernel."""
+        total = self.private_hit_references
+        return self.kernel_accesses / total if total else 0.0
 
 
 class RefrintSimulator:
@@ -84,10 +124,17 @@ class RefrintSimulator:
         tables: Optional[TechnologyTables] = None,
         cache_backend: str = "array",
         replay: str = "runahead",
+        kernel: str = "off",
     ) -> None:
         if replay not in REPLAY_MODES:
             raise ValueError(
                 f"unknown replay mode {replay!r}; expected one of {REPLAY_MODES}"
+            )
+        self.kernel = resolve_kernel(kernel)
+        if self.kernel != "off" and replay != "runahead":
+            raise ValueError(
+                "batch kernels drive the run-ahead replay loop; "
+                f"kernel={kernel!r} cannot be combined with replay={replay!r}"
             )
         self.config = config
         self._tables = tables
@@ -123,6 +170,7 @@ class RefrintSimulator:
                 # per-record precomputation so the per-reference baseline
                 # the benchmarks compare against stays undistorted.
                 prepare_runs=self.replay == "runahead",
+                kernel=self.kernel if self.replay == "runahead" else "off",
             )
             for core_id in range(architecture.num_cores)
         ]
@@ -131,17 +179,30 @@ class RefrintSimulator:
         for controller in controllers:
             controller.start(0)
 
+        empty_landings_skipped = 0
         if self.replay == "event":
             for core in cores:
                 core.start(0)
             self._run_event_loop(events, finished, len(cores))
+        elif self.kernel != "off":
+            empty_landings_skipped = self._run_ahead_kernel(
+                events, cores, finished, hierarchy.protocol
+            )
         else:
-            self._run_ahead(events, cores, finished)
+            empty_landings_skipped = self._run_ahead(
+                events, cores, finished, hierarchy.protocol
+            )
         self.last_replay_stats = ReplayStats(
             events_popped=events.popped_events,
             references=sum(core.stats.references_completed for core in cores),
             protocol_calls=hierarchy.protocol_calls,
             run_landings=hierarchy.protocol.run_landings,
+            kernel_batches=sum(core._kernel_batches for core in cores),
+            kernel_accesses=sum(core._kernel_accesses for core in cores),
+            slow_references=sum(core._slow_refs for core in cores),
+            empty_landings_skipped=empty_landings_skipped,
+            resolved_hits=sum(core._res_hits for core in cores),
+            resolved_misses=sum(core._res_misses for core in cores),
         )
 
         execution_cycles = max(
@@ -194,8 +255,8 @@ class RefrintSimulator:
 
     @staticmethod
     def _run_ahead(
-        events: EventQueue, cores: List[Core], finished: List[int]
-    ) -> None:
+        events: EventQueue, cores: List[Core], finished: List[int], protocol
+    ) -> int:
         """Execute references back-to-back, bypassing the heap entirely.
 
         Per-reference event replay pays one heap push and one pop per data
@@ -232,12 +293,15 @@ class RefrintSimulator:
         heap = events._heap
         counter = events._counter
         run_until_key = events.run_until_key
+        dirty = protocol.dirty_cores
+        num_cores = len(cores)
+        empty_landings_skipped = 0
         ready: List = []  # (issue time, seq, core) -- seq unique, so the
         for core in cores:  # core object is never compared.
             issue_time = core.begin(0)
             if issue_time is not None:
                 heappush(ready, (issue_time, next(counter), core))
-        target = len(cores)
+        target = num_cores
         executed = 0
         while len(finished) < target:
             if not ready:
@@ -255,8 +319,16 @@ class RefrintSimulator:
                 if head[0] < time or (head[0] == time and head[1] < seq):
                     # Refresh work reads and rewrites the timestamp vectors
                     # the hit runs defer; land every pending run first.
-                    for pending_core in cores:
-                        pending_core.land_run()
+                    # Only registered (dirty) cores can have pending state
+                    # -- an unregistered core's buffer and resolution
+                    # caches are provably empty, so its landing is skipped.
+                    landed = 0
+                    for pending_core in dirty:
+                        if pending_core._in_dirty:
+                            pending_core.land_run()
+                            landed += 1
+                    dirty.clear()
+                    empty_landings_skipped += num_cores - landed
                     executed += run_until_key(time, seq)
                     if executed > MAX_EVENTS:
                         raise RuntimeError(
@@ -295,3 +367,132 @@ class RefrintSimulator:
         # before the results are assembled.
         for core in cores:
             core.commit_run()
+        return empty_landings_skipped
+
+    @staticmethod
+    def _run_ahead_kernel(
+        events: EventQueue, cores: List[Core], finished: List[int], protocol
+    ) -> int:
+        """Run-ahead replay with batched (kernel) reference retirement.
+
+        Same ready-list structure and byte-identical ordering guarantees as
+        :meth:`_run_ahead`, but each inner step goes through
+        :meth:`~repro.cpu.core.Core.step_batch`, which retires a whole
+        kernel-eligible stretch per call, and the horizon is split in two:
+
+        * ``strict`` -- the classic bound (next heap event, next other
+          core's pending issue time).  Scalar (possibly state-changing)
+          references execute only below it, where this core is provably
+          the globally earliest actor.
+        * ``relaxed`` -- the kernel bound.  A waiting core whose last scan
+          *promised* that its pending references remain pure private hits
+          up to some frontier (no directory transaction, no event, no
+          shared state) publishes that frontier; pure-hit stretches of the
+          running core may retire past such a core's issue time, because
+          pure hits of different cores touch disjoint state, claim the
+          same total of sequence numbers, and therefore commute
+          byte-identically.  The next heap event stays a hard bound, and a
+          frontier counts only while its protocol-epoch and
+          driver-generation stamps are current (any directory transaction
+          bumps the epoch; every wheel drain bumps the generation).
+
+        The batch re-validates the horizons whenever the epoch or the
+        queue head moves (a slow reference may have armed or cancelled
+        events), so stale promises shrink the bound rather than leak
+        through it.  Returns the skipped-empty-landing count.
+        """
+        heap = events._heap
+        run_until_key = events.run_until_key
+        peek_key = events.peek_key
+        epoch = protocol.run_epoch
+        dirty = protocol.dirty_cores
+        num_cores = len(cores)
+        empty_landings_skipped = 0
+        generation = 0
+        ready: List = []  # (issue time, seq, core); seq unique.
+        for core in cores:
+            issue_time = core.begin(0)
+            if issue_time is not None:
+                heappush(ready, (issue_time, events.claim_seq(), core))
+        target = num_cores
+        executed = 0
+
+        def horizons():
+            """(strict, relaxed) for the core at ready[0]; -1 = unbounded."""
+            head = peek_key()
+            head_time = head[0] if head is not None else -1
+            strict = head_time
+            relaxed = head_time
+            if len(ready) > 1:
+                second = ready[1]
+                if len(ready) > 2 and ready[2] < second:
+                    second = ready[2]
+                if strict < 0 or second[0] < strict:
+                    strict = second[0]
+                frontier_min = -1
+                for entry in ready[1:]:
+                    # ``promise`` returns the waiting core's published
+                    # private frontier, computing and caching it (against
+                    # the current epoch/generation stamps) on first ask;
+                    # cores that cannot promise return their entry time.
+                    bound = entry[2].promise(entry[0], generation)
+                    if frontier_min < 0 or bound < frontier_min:
+                        frontier_min = bound
+                if frontier_min >= 0 and (relaxed < 0 or frontier_min < relaxed):
+                    relaxed = frontier_min
+            return strict, relaxed
+
+        while len(finished) < target:
+            if not ready:
+                raise RuntimeError(
+                    "all pending references drained before every core "
+                    "finished; a core failed to report its next reference"
+                )
+            time, seq, core = ready[0]
+            head = peek_key()
+            if head is not None and head < (time, seq):
+                landed = 0
+                for pending_core in dirty:
+                    if pending_core._in_dirty:
+                        pending_core.land_run()
+                        landed += 1
+                dirty.clear()
+                empty_landings_skipped += num_cores - landed
+                executed += run_until_key(time, seq)
+                generation += 1
+                if executed > MAX_EVENTS:
+                    raise RuntimeError(
+                        "event limit exceeded; the simulation appears "
+                        "to be stuck"
+                    )
+                head = peek_key()
+            strict, relaxed = horizons()
+            epoch_seen = epoch[0]
+            events._now = time
+            allow_scalar = True
+            while True:
+                next_time = core.step_batch(
+                    time, strict, relaxed, generation, allow_scalar
+                )
+                allow_scalar = False
+                if next_time is None:
+                    heappop(ready)
+                    break
+                if next_time < 0:
+                    # Blocked: nothing retirable below the horizons.  The
+                    # pending reference keeps the key it already claimed.
+                    heapreplace(ready, (time, core._last_seq, core))
+                    break
+                if epoch[0] != epoch_seen or peek_key() != head:
+                    # A slow reference transacted with the directory or
+                    # moved the queue head; promises and bounds are stale.
+                    epoch_seen = epoch[0]
+                    head = peek_key()
+                    strict, relaxed = horizons()
+                if 0 <= relaxed <= next_time:
+                    heapreplace(ready, (next_time, core._last_seq, core))
+                    break
+                time = next_time
+        for core in cores:
+            core.commit_run()
+        return empty_landings_skipped

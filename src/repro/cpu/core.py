@@ -40,12 +40,35 @@ from repro.hierarchy.hierarchy import CacheHierarchy
 # After the hierarchy: importing anything under repro.coherence runs that
 # package's __init__, whose protocol import needs repro.hierarchy fully
 # initialised first.
-from repro.coherence.runbuffer import RunBuffer
+from repro.coherence.runbuffer import RunBuffer, merge_extend
 from repro.mem.line import MESI_EXCLUSIVE, MESI_MODIFIED, MESI_SHARED
 from repro.utils.events import EventQueue
 
+try:  # numpy is optional; the batch kernel requires it (resolve_kernel gates).
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    _np = None
+
 #: Number of instructions represented by one real instruction-fetch access.
 DEFAULT_IFETCH_INTERVAL = 16
+
+#: Most references one kernel scan examines.  A longer stretch simply takes
+#: several scans; the cap bounds the staging buffers and keeps a scan's
+#: columns inside cache.
+KERNEL_WINDOW = 2048
+
+#: Staging span of a *promise* scan (a waiting core probed by the driver's
+#: horizon computation).  The promise only needs to stretch modestly past
+#: the core's pending issue time for the running core's relaxed bound to
+#: open up; a short window keeps the per-epoch staging cost of the whole
+#: waiting set negligible.  The core's own retiring scans still stage the
+#: full :data:`KERNEL_WINDOW`.
+PROMISE_WINDOW = 96
+
+#: Capacity of the per-core resolved-block cache (satellite: multi-block
+#: LRU).  Small on purpose: it only needs to cover the distinct blocks a
+#: core alternates between within one run.
+RESOLVED_CACHE_CAPACITY = 64
 
 #: Bytes of the per-thread code region walked by the modelled fetches.  Kept
 #: small (an inner-loop sized footprint) so that, on the scaled geometry,
@@ -83,6 +106,7 @@ class Core:
         code_region_bytes: int = DEFAULT_CODE_REGION_BYTES,
         on_finish: Optional[Callable[[int, "Core"], None]] = None,
         prepare_runs: bool = True,
+        kernel: str = "off",
     ) -> None:
         if ifetch_interval < 1:
             raise ValueError("ifetch_interval must be >= 1")
@@ -156,6 +180,74 @@ class Core:
         self._run_busy = 0
         self._run_stall = 0
         self._run_instr = 0
+        # Multi-block resolution cache: block -> (l1d index, l2 index,
+        # write ok) for every block resolved since the last landing.  The
+        # same validity rules as the one-entry ``_cb`` cache apply (dropped
+        # on epoch change and on every landing); on top of those the cache
+        # survives block *switches*, so a core alternating between lines
+        # pays one probe per line per run instead of one per switch.
+        self._resolved: dict = {}
+        self._resolved_epoch = -1
+        self._res_hits = 0
+        self._res_misses = 0
+        # Dirty-core registry: the core adds itself when it first defers
+        # run state, and the run-ahead drivers land only registered cores
+        # at a wheel drain.  The flag being False guarantees ``_cb == -1``,
+        # an empty resolution cache and an empty run buffer (they are
+        # cleared wherever the flag is), so skipping ``land_run`` for
+        # unregistered cores is exact, not an approximation.
+        self._in_dirty = False
+        self._dirty_cores = hierarchy.protocol.dirty_cores
+        # Batch-replay kernel staging (see repro.kernels): the trace as
+        # int64 columns, the scan dispatch, and the per-core coverage
+        # counters.  Only built when a kernel mode is selected.
+        self.kernel = kernel
+        self._kernel_batches = 0
+        self._kernel_accesses = 0
+        self._slow_refs = 0
+        self._last_seq = -1
+        self._frontier = -1
+        self._frontier_epoch = -1
+        self._frontier_gen = -1
+        self._staged_lo = -1
+        self._staged_end = -1
+        self._staged_epoch = -1
+        self._staged_gen = -1
+        self._read_stall = max(self._l1d_cycles - 1, 0)
+        self._write_stall = max(self._l1d_l2_cycles - 1, 0)
+        if kernel != "off" and prepare_runs:
+            from repro.kernels import scanner_for
+
+            self._scan = scanner_for(kernel)
+            count = self._num_records
+            self._blocks_np = _np.array(
+                self._blocks if self._blocks is not None else [],
+                dtype=_np.int64,
+            )
+            self._write_np = _np.array(self._is_write, dtype=_np.int64)
+            gaps_next = _np.zeros(count, dtype=_np.int64)
+            if count > 1:
+                gaps_next[: count - 1] = self._gaps[1:]
+            self._gaps_next_np = gaps_next
+            # The instruction-fetch slot model: the code region as
+            # ``nslots`` line-sized slots whose L1I indices are probed per
+            # scan.  It only holds when the region tiles into whole lines
+            # (the offset walk then cycles through slot-aligned addresses);
+            # otherwise crossings simply cap every stretch and fall back to
+            # the scalar fetch path.
+            self._slots_ok = (
+                code_region_bytes % self._line_bytes == 0
+                and code_region_bytes >= self._line_bytes
+            )
+            self._nslots = max(1, code_region_bytes // self._line_bytes)
+            self._code_idx = _np.empty(self._nslots, dtype=_np.int64)
+            empty = _np.empty(0, dtype=_np.int64)
+            self._map_blocks = empty
+            self._map_l1d = empty
+            self._map_l2 = empty
+            self._map_wok = empty
+        else:
+            self._scan = None
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -231,13 +323,38 @@ class Core:
         index = self._next_index
         block = self._blocks[index]
         write = self._is_write[index]
+        if not self._in_dirty:
+            self._in_dirty = True
+            self._dirty_cores.append(self)
         if block != self._cb or self._cb_epoch != self._epoch[0]:
-            if not self._resolve_block(block, cycle, write):
-                self.land_run()
-                return self.step(cycle)
+            epoch = self._epoch[0]
+            resolved = self._resolved
+            if self._resolved_epoch != epoch:
+                if resolved:
+                    resolved.clear()
+                self._resolved_epoch = epoch
+            entry = resolved.get(block)
+            if entry is not None:
+                # A block resolved earlier in this run: reload it without
+                # re-probing.  Refresh to most-recently-used so eviction
+                # drops the coldest resolution (the entry set is unchanged,
+                # so the kernel's map arrays stay valid).
+                self._res_hits += 1
+                del resolved[block]
+                resolved[block] = entry
+                self._cb = block
+                self._cb_epoch = epoch
+                self._cb_l1d, self._cb_l2, self._cb_wok = entry
+            else:
+                self._res_misses += 1
+                if not self._resolve_block(block, cycle, write):
+                    self._slow_refs += 1
+                    self.land_run()
+                    return self.step(cycle)
         buf = self._run
         if write:
             if not self._cb_wok and not self._resolve_write(cycle):
+                self._slow_refs += 1
                 self.land_run()
                 return self.step(cycle)
             buf.l1d_writes += 1
@@ -311,6 +428,462 @@ class Core:
                 self._ifetch_run(cycle + latency, since)
         return cycle + latency + gap
 
+    def step_batch(
+        self,
+        cycle: int,
+        strict: int,
+        relaxed: int,
+        gen: int,
+        allow_scalar: bool,
+    ) -> Optional[int]:
+        """One unit of kernel-mode replay: a batched stretch or one reference.
+
+        Byte-equivalent to the same references through :meth:`step_fast`.
+        When the upcoming reference's block is already resolved, a columnar
+        scan (:mod:`repro.kernels`) classifies up to :data:`KERNEL_WINDOW`
+        references at once and the whole eligible stretch -- bounded by
+        ``relaxed``, the kernel horizon -- retires in one call: touch lists
+        merge onto the run buffer seam-coalesced, counter tallies add in
+        closed form, and the stretch claims its sequence numbers in one
+        :meth:`~repro.utils.events.EventQueue.claim_seq_bulk` draw.
+        Anything the scan cannot promise falls back to one scalar
+        :meth:`step_fast` reference, allowed only below the ``strict``
+        horizon (``allow_scalar`` marks the batch's unconditional first
+        action).  Horizons of ``-1`` are unbounded.
+
+        Returns the next issue time, None when the trace drained, or -1
+        when blocked (nothing retirable below the horizons); the claimed
+        sequence number of the pending reference is left in ``_last_seq``.
+        The scan's private frontier is published (stamped with the
+        protocol epoch and driver generation ``gen``) so the driver can let
+        *other* cores run past this core's pending references while they
+        are promised to stay core-private operations.
+
+        One call stitches vector segments across *seams*: a read absent
+        from the L1D but resident in the private L2 is a structural fill
+        -- core-private, commuting with other cores' promised references
+        just like a pure hit -- so below the relaxed horizon it executes
+        as one :meth:`step_fast` reference between two scans, with the
+        staged hit map repaired in place, instead of ending the batch.
+        """
+        l1d = self._l1d
+        l2 = self._l2
+        # The kernel never retires the trace's final record: the scalar
+        # path owns finish/commit, and every kernel-retired reference must
+        # have a successor (it claims that successor's sequence number).
+        if (
+            self._num_records - 1 - self._next_index > 0
+            and cycle >= l1d.busy_horizon
+            and cycle >= l2.busy_horizon
+        ):
+            epoch0 = self._epoch[0]
+            probe_d = l1d.probe_index
+            probe_2 = l2.probe_index
+            state = l2.state_code
+            progressed = False
+            next_time = cycle
+            # ``allow_scalar`` is the driver's proof that this core is the
+            # globally earliest actor at (time, seq).  That licence covers
+            # more than one scalar step: when the horizon sits at or below
+            # the batch start, the reference issuing exactly at ``cycle``
+            # may still retire -- as a kernel batch of one -- because every
+            # later reference of this stretch issues strictly after it.
+            # The boost is consumed by the first action.
+            boost = allow_scalar
+            while True:
+                index = self._next_index
+                window = self._num_records - 1 - index
+                if window <= 0:
+                    break
+                if window > KERNEL_WINDOW:
+                    window = KERNEL_WINDOW
+                # Classify the pending reference with direct probes: a
+                # scan-retirable reference (or a horizon-blocked one whose
+                # scan still yields a publishable frontier) goes to the
+                # scan; a seam fill executes here; anything else ends the
+                # batch at the scalar gate.
+                block = self._blocks[index]
+                seam = False
+                if self._is_write[index]:
+                    l2_index = probe_2(block)
+                    eligible = l2_index >= 0 and state(l2_index) in (
+                        MESI_MODIFIED,
+                        MESI_EXCLUSIVE,
+                    )
+                else:
+                    eligible = probe_d(block) >= 0
+                    seam = not eligible and probe_2(block) >= 0
+                if not eligible and not seam:
+                    break
+                horizon = relaxed
+                if boost and 0 <= relaxed <= cycle:
+                    horizon = cycle + 1
+                if (
+                    seam
+                    and (horizon < 0 or cycle < horizon)
+                    and self._seam_tail_private(index, cycle)
+                ):
+                    boost = False
+                    next_time = self.step_fast(cycle)
+                    self._kernel_accesses += 1
+                    self._last_seq = self.events.claim_seq()
+                    progressed = True
+                    if (
+                        self._staged_epoch == epoch0
+                        and self._staged_gen == gen
+                        and self._staged_lo <= index < self._staged_end
+                    ):
+                        # The fill re-homed one L1D way: drop the map's
+                        # claim on whatever that way held and point the
+                        # filled block's slot at it.
+                        way = self._cb_l1d
+                        map_l1d = self._map_l1d
+                        map_l1d[map_l1d == way] = -1
+                        pos = int(
+                            _np.searchsorted(self._map_blocks, block)
+                        )
+                        if (
+                            pos < self._map_blocks.size
+                            and int(self._map_blocks[pos]) == block
+                        ):
+                            map_l1d[pos] = way
+                    if self._epoch[0] != epoch0 or not self._in_dirty:
+                        return next_time
+                    cycle = next_time
+                    continue
+                # Staged maps persist across batches: their probe results
+                # only move at a directory transaction (epoch) or a wheel
+                # drain (generation), and any scalar-tail step voids them
+                # explicitly.  Re-stage only when the pending stretch runs
+                # off the staged one.
+                if (
+                    self._staged_epoch != epoch0
+                    or self._staged_gen != gen
+                    or index < self._staged_lo
+                ):
+                    avail = 0
+                else:
+                    avail = self._staged_end - index
+                if avail >= window:
+                    w = window
+                elif avail > 0:
+                    w = avail
+                else:
+                    self._stage_window(index, window)
+                    self._staged_lo = index
+                    self._staged_end = index + window
+                    self._staged_epoch = epoch0
+                    self._staged_gen = gen
+                    w = window
+                # The scanned span is NOT capped at the horizon: the
+                # scan's private frontier -- how far the stretch stays
+                # core-private, ignoring the horizon -- is what lets
+                # the driver relax the other cores' horizons, so
+                # scanning past the cut is the point, not waste.
+                result = self._scan(
+                    self._blocks_np,
+                    self._write_np,
+                    self._gaps_next_np,
+                    index,
+                    w,
+                    cycle,
+                    horizon,
+                    self._map_blocks,
+                    self._map_l1d,
+                    self._map_l2,
+                    self._map_wok,
+                    self._l1d_cycles,
+                    self._l1d_l2_cycles,
+                    self._instructions_since_ifetch,
+                    self.ifetch_interval,
+                    self._code_offset // self._line_bytes,
+                    self._code_slots(cycle),
+                )
+                if not result[0]:
+                    frontier = result[2]
+                    if frontier > cycle:
+                        # Horizon-blocked with a real private prefix:
+                        # publish the promise so other cores may retire
+                        # past this core's pending reference.
+                        self._frontier = frontier
+                        self._frontier_epoch = epoch0
+                        self._frontier_gen = gen
+                    break
+                if not self._in_dirty:
+                    self._in_dirty = True
+                    self._dirty_cores.append(self)
+                boost = False
+                next_time = self._apply_scan(result, index, epoch0, gen)
+                progressed = True
+                if 0 <= relaxed <= next_time:
+                    return next_time
+                cycle = next_time
+            if progressed:
+                return next_time
+        if not allow_scalar and 0 <= strict <= cycle:
+            return -1
+        keep = (
+            self._frontier_epoch == self._epoch[0]
+            and self._frontier_gen == gen
+            and cycle < self._frontier
+        )
+        next_time = self.step_fast(cycle)
+        # A scalar step may fill the L1D or change MESI state without
+        # moving the epoch: the staged hit maps are no longer trustworthy.
+        self._staged_epoch = -1
+        # A scalar reference issuing *inside* the published promise is one
+        # the scan classified private and the horizon cut: it retires as
+        # the same core-private operation, so the frontier stays honest
+        # for the references behind it (issue times are strictly
+        # increasing, so ``cycle < frontier`` is exactly ``position <
+        # first non-private``).  Anything at or past the frontier may
+        # change state: void it.
+        if not keep:
+            self._frontier_epoch = -1
+        if next_time is not None:
+            self._last_seq = self.events.claim_seq()
+        return next_time
+
+    def promise(self, cycle: int, gen: int) -> int:
+        """Publish this waiting core's private frontier for the driver.
+
+        Called from the driver's horizon computation on cores that are
+        *not* at the head of the ready list and have no current promise:
+        stage (or reuse) the hit map, scan with a closed horizon, and
+        publish the private frontier so the running core's relaxed bound
+        can pass this core's pending issue time ``cycle``.  Entirely
+        side-effect free on simulation state.  Returns the frontier when
+        one was promised (> ``cycle``), else ``cycle``; the result --
+        including "no promise", stored as a zero frontier -- is cached
+        against the (epoch, generation) stamps so repeated horizon
+        computations cost one dict-free comparison.
+        """
+        epoch0 = self._epoch[0]
+        if self._frontier_epoch == epoch0 and self._frontier_gen == gen:
+            frontier = self._frontier
+            return frontier if frontier > cycle else cycle
+        self._frontier = 0
+        self._frontier_epoch = epoch0
+        self._frontier_gen = gen
+        index = self._next_index
+        window = self._num_records - 1 - index
+        if window <= 0:
+            return cycle
+        l1d = self._l1d
+        l2 = self._l2
+        if cycle < l1d.busy_horizon or cycle < l2.busy_horizon:
+            return cycle
+        if window > PROMISE_WINDOW:
+            window = PROMISE_WINDOW
+        block = self._blocks[index]
+        if self._is_write[index]:
+            l2_index = l2.probe_index(block)
+            if l2_index < 0 or l2.state_code(l2_index) not in (
+                MESI_MODIFIED,
+                MESI_EXCLUSIVE,
+            ):
+                return cycle
+        elif l1d.probe_index(block) < 0 and l2.probe_index(block) < 0:
+            return cycle
+        if (
+            self._staged_epoch != epoch0
+            or self._staged_gen != gen
+            or index < self._staged_lo
+        ):
+            avail = 0
+        else:
+            avail = self._staged_end - index
+        if avail >= window:
+            w = window
+        elif avail > 0:
+            w = avail
+        else:
+            self._stage_window(index, window)
+            self._staged_lo = index
+            self._staged_end = index + window
+            self._staged_epoch = epoch0
+            self._staged_gen = gen
+            w = window
+        result = self._scan(
+            self._blocks_np,
+            self._write_np,
+            self._gaps_next_np,
+            index,
+            w,
+            cycle,
+            cycle,
+            self._map_blocks,
+            self._map_l1d,
+            self._map_l2,
+            self._map_wok,
+            self._l1d_cycles,
+            self._l1d_l2_cycles,
+            self._instructions_since_ifetch,
+            self.ifetch_interval,
+            self._code_offset // self._line_bytes,
+            self._code_slots(cycle),
+        )
+        frontier = result[2]
+        if frontier > cycle:
+            self._frontier = frontier
+            return frontier
+        return cycle
+
+    def _apply_scan(self, result, index: int, epoch: int, gen: int) -> int:
+        """Land one scan's plan: touches, tallies, stats, seqs, frontier.
+
+        Each aggregate below is the closed form of what n iterations of
+        :meth:`step_fast` would have accumulated one reference at a time;
+        the hypothesis suite pins the equivalence per backend.
+        """
+        (
+            n, next_time, frontier,
+            d_idx, d_cyc, d_cnt,
+            l2_idx, l2_cyc, l2_cnt,
+            i_idx, i_cyc, i_cnt,
+            writes, d_hits, gsum, ncross, lat_sum, since_out,
+            upgrades,
+        ) = result
+        if upgrades:
+            # First-writes to Exclusive lines retired in-scan: perform the
+            # same silent E->M transition the scalar write path does, once
+            # per line at batch end (nothing observes the line in between),
+            # and mark the map slot writable-as-Modified.
+            l2 = self._l2
+            map_l2 = self._map_l2
+            map_wok = self._map_wok
+            for slot in upgrades:
+                l2.set_state_code(int(map_l2[slot]), MESI_MODIFIED)
+                map_wok[slot] = 1
+        buf = self._run
+        merge_extend(buf.l1d_idx, buf.l1d_cyc, buf.l1d_cnt, d_idx, d_cyc, d_cnt)
+        merge_extend(buf.l2_idx, buf.l2_cyc, buf.l2_cnt, l2_idx, l2_cyc, l2_cnt)
+        merge_extend(buf.l1i_idx, buf.l1i_cyc, buf.l1i_cnt, i_idx, i_cyc, i_cnt)
+        reads = n - writes
+        buf.l1d_reads += reads
+        buf.l1d_writes += writes
+        buf.l1d_hits += d_hits
+        buf.l1d_misses += n - d_hits
+        buf.l2_writes += writes
+        buf.l2_hits += writes
+        buf.l1i_reads += gsum + ncross
+        buf.l1i_hits += ncross
+        buf.instructions += gsum
+        self._run_refs += n
+        self._run_stall += reads * self._read_stall + writes * self._write_stall
+        self._run_busy += n + gsum
+        self._run_instr += gsum
+        self._instructions_since_ifetch = since_out
+        if ncross:
+            self._code_offset = (
+                self._code_offset + ncross * self._line_bytes
+            ) % self.code_region_bytes
+        self._next_index = index + n
+        self._kernel_batches += 1
+        self._kernel_accesses += n
+        self._last_seq = self.events.claim_seq_bulk(n)
+        self._frontier = frontier
+        self._frontier_epoch = epoch
+        self._frontier_gen = gen
+        return next_time
+
+    def _stage_window(self, index: int, window: int) -> None:
+        """Build the scan's hit map by probing the private caches directly.
+
+        Probes every distinct block of the staged window once -- tags,
+        validity and the L2 MESI state -- with no side effects, exactly the
+        classification :meth:`_resolve_block` / :meth:`_resolve_write`
+        perform minus their caching.  Writability is encoded three-way:
+        ``1`` Modified (writes retire as-is), ``2`` Exclusive (writes
+        retire with a batch-end upgrade), ``0`` not writable.  Pure
+        private hits never move tags or states, and the seams inside one
+        batch repair the map in place (an L1D fill re-homes one way, an
+        E->M upgrade flips one ``wok``), so one build covers every scan of
+        the staged stretch.  The caller has already checked the busy
+        horizons; no events run inside a batch, so they cannot move.
+        """
+        probe_d = self._l1d.probe_index
+        probe_2 = self._l2.probe_index
+        state = self._l2.state_code
+        blocks_u = _np.unique(self._blocks_np[index : index + window])
+        m = blocks_u.size
+        map_l1d = _np.empty(m, dtype=_np.int64)
+        map_l2 = _np.empty(m, dtype=_np.int64)
+        map_wok = _np.empty(m, dtype=_np.int64)
+        for t, block in enumerate(blocks_u.tolist()):
+            map_l1d[t] = probe_d(block)
+            l2_index = probe_2(block)
+            map_l2[t] = l2_index
+            if l2_index >= 0:
+                code = state(l2_index)
+                map_wok[t] = (
+                    1
+                    if code == MESI_MODIFIED
+                    else (2 if code == MESI_EXCLUSIVE else 0)
+                )
+            else:
+                map_wok[t] = 0
+        self._map_blocks = blocks_u
+        self._map_l1d = map_l1d
+        self._map_l2 = map_l2
+        self._map_wok = map_wok
+
+    def _seam_tail_private(self, index: int, cycle: int) -> bool:
+        """True when the seam reference's trailing gap stays in-run.
+
+        A seam executes via :meth:`step_fast` *above* the strict horizon,
+        which is only sound while every side effect is core-private.  The
+        data access is (the caller classified it an L2-served fill); the
+        risk is the trailing instruction gap making real fetches due whose
+        code lines miss the L1I -- those land the run and walk the
+        protocol out of order.  Pre-verify them instead: every crossing's
+        slot must be L1I-resident and the L1I unblocked at the fetch cycle
+        (``busy_horizon`` is fixed inside a batch).  Conservative failures
+        just end the batch at the scalar gate.
+        """
+        since = self._instructions_since_ifetch + self._gaps[index + 1]
+        crossings = since // self.ifetch_interval
+        if crossings == 0:
+            return True
+        if not self._slots_ok:
+            return False
+        l1i = self._l1i
+        if cycle + self._l1d_cycles + self._l2_cycles < l1i.busy_horizon:
+            return False
+        probe = l1i.probe_index
+        base = self.code_base_address
+        mask = self._block_mask
+        line_bytes = self._line_bytes
+        nslots = self._nslots
+        slot0 = self._code_offset // line_bytes
+        for j in range(min(crossings, nslots)):
+            address = base + ((slot0 + j) % nslots) * line_bytes
+            if probe(address & mask) < 0:
+                return False
+        return True
+
+    def _code_slots(self, cycle: int) -> "_np.ndarray":
+        """Per-slot L1I line indices for the scan's crossing checks.
+
+        ``-1`` marks a slot the kernel must not promise: the code line is
+        absent, the L1I is refresh-blocked past the batch start, or the
+        region does not tile into whole lines.  Conservative by design --
+        a ``-1`` only forces the crossing-carrying reference down the
+        scalar fetch path, which re-checks everything per fetch.
+        """
+        code_idx = self._code_idx
+        l1i = self._l1i
+        if not self._slots_ok or cycle < l1i.busy_horizon:
+            code_idx[:] = -1
+            return code_idx
+        probe = l1i.probe_index
+        base = self.code_base_address
+        mask = self._block_mask
+        line_bytes = self._line_bytes
+        for slot in range(self._nslots):
+            code_idx[slot] = probe((base + slot * line_bytes) & mask)
+        return code_idx
+
     def land_run(self) -> None:
         """Land the pending timestamp touches; keep the run open.
 
@@ -330,6 +903,10 @@ class Core:
             self._protocol.run_landings += 1
         self._cb = -1
         self._cb_epoch = -1
+        self._in_dirty = False
+        self._frontier_epoch = -1
+        if self._resolved:
+            self._resolved.clear()
 
     def commit_run(self) -> None:
         """Commit the whole pending run: touches, tallies and statistics.
@@ -353,6 +930,23 @@ class Core:
             self._commit_run(self.core_id, buf)
         self._cb = -1
         self._cb_epoch = -1
+        self._in_dirty = False
+        self._frontier_epoch = -1
+        if self._resolved:
+            self._resolved.clear()
+
+    def _store_resolution(self) -> None:
+        """Remember the current block's resolution in the multi-block cache.
+
+        Called on every successful resolution (and on permission upgrades
+        and L1D fills, which change an existing entry's fields).  Evicts
+        the least-recently-refreshed entry at capacity.
+        """
+        resolved = self._resolved
+        block = self._cb
+        if block not in resolved and len(resolved) >= RESOLVED_CACHE_CAPACITY:
+            del resolved[next(iter(resolved))]
+        resolved[block] = (self._cb_l1d, self._cb_l2, self._cb_wok)
 
     def _resolve_block(self, block: int, cycle: int, write: bool) -> bool:
         """Validate one block for run membership; cache the resolution.
@@ -377,6 +971,7 @@ class Core:
         if l1d_index >= 0:
             self._cb_l1d = l1d_index
             if not write:
+                self._store_resolution()
                 return True
         else:
             l2 = self._l2
@@ -387,6 +982,7 @@ class Core:
                 return False
             self._cb_l2 = l2_index
             if not write:
+                self._store_resolution()
                 return True
         return self._resolve_write(cycle)
 
@@ -409,10 +1005,12 @@ class Core:
         code = l2.state_code(l2_index)
         if code == MESI_MODIFIED:
             self._cb_wok = True
+            self._store_resolution()
             return True
         if code == MESI_EXCLUSIVE:
             l2.set_state_code(l2_index, MESI_MODIFIED)
             self._cb_wok = True
+            self._store_resolution()
             return True
         return False
 
@@ -446,6 +1044,16 @@ class Core:
             self._protocol.run_landings += 1
         buf.l1d_writes += 1
         self._cb_l1d = l1d.fill_block(block, MESI_SHARED, cycle + latency)
+        # The fill repurposed one L1D way: any cached resolution pointing
+        # at that way now describes the evicted block and must drop its
+        # L1D index (the block usually remains L2-resolvable).
+        filled = self._cb_l1d
+        resolved = self._resolved
+        if resolved:
+            for other, entry in resolved.items():
+                if entry[0] == filled and other != block:
+                    resolved[other] = (-1, entry[1], entry[2])
+        self._store_resolution()
         return latency
 
     def _ifetch_run(self, cycle: int, since: int) -> None:

@@ -1,0 +1,218 @@
+"""The numpy columnar scan: classify and retire a hit stretch in ufunc chains.
+
+One call consumes up to ``w`` upcoming references of one core.  Inputs are
+the core's pre-staged trace columns (block addresses, write flags, trailing
+instruction gaps), its hit map as sorted parallel arrays probed from the
+private caches (block -> L1D index / L2 index / MESI writability), and the instruction
+fetch state (pending instruction count, interval, resident code-line
+indices).  The scan classifies each reference (eligible private hit or
+not), accumulates issue times as a cumulative sum of latencies and gaps,
+caps the stretch at the first ineligible reference / the replay horizon /
+the first instruction-fetch crossing that cannot be served by the resident
+code lines, and run-length-encodes the per-cache touch sequences so they
+append straight onto the :class:`~repro.coherence.runbuffer.RunBuffer`
+lists the scalar loop would have grown one entry at a time.
+
+The scan is *pure*: it reads the columns and writes nothing, returning the
+retire count, the boundary issue time, the eligibility frontier (how far
+the stretch could have run ignoring the horizon -- the run-ahead driver's
+relaxed-horizon promise), the RLE touch lists and the additive tallies.
+:func:`repro.kernels.jit.scan_loop` is the same contract as one fused
+loop; ``tests/test_property_kernel.py`` pins the two against each other
+and against n repetitions of the scalar path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Shared result contract (both scan implementations):
+#: (n, next_time, frontier,
+#:  d_idx, d_cyc, d_cnt, l2_idx, l2_cyc, l2_cnt, i_idx, i_cyc, i_cnt,
+#:  writes, d_hits, gsum, ncross, lat_sum, since_out, upgrades)
+#: with n retired references, RLE touch lists as plain Python lists,
+#: ``upgrades`` the sorted hit-map slots of retired first-writes to
+#: Exclusive lines (the caller flips them Modified at batch end), and
+#: all-zero/empty fields when n == 0.
+EMPTY_SCAN = (0, 0, 0, [], [], [], [], [], [], [], [], [], 0, 0, 0, 0, 0, 0, [])
+
+#: Most instruction-fetch crossings one scan will plan.  A stretch whose
+#: gaps make more fetches due is capped there (the reference carrying the
+#: excess goes scalar); both scan implementations apply the same bound so
+#: their outputs stay identical entry for entry.
+CROSSING_CAP = 4096
+
+
+def _rle(idx: np.ndarray, cyc: np.ndarray):
+    """Run-length-encode consecutive equal indices, keeping the last cycle.
+
+    Mirrors the scalar loop's coalescing: a streak of touches to one line
+    collapses to a single (index, last cycle, count) entry, and the entry
+    order is program order.
+    """
+    if idx.size == 0:
+        return [], [], []
+    change = np.flatnonzero(idx[1:] != idx[:-1])
+    ends = np.concatenate((change, [idx.size - 1]))
+    starts = np.concatenate(([0], change + 1))
+    return (
+        idx[ends].tolist(),
+        cyc[ends].tolist(),
+        (ends - starts + 1).tolist(),
+    )
+
+
+def scan_columnar(
+    blocks: np.ndarray,
+    writes: np.ndarray,
+    gaps_next: np.ndarray,
+    index: int,
+    w: int,
+    time: int,
+    horizon: int,
+    map_blocks: np.ndarray,
+    map_l1d: np.ndarray,
+    map_l2: np.ndarray,
+    map_wok: np.ndarray,
+    read_lat: int,
+    write_lat: int,
+    since: int,
+    interval: int,
+    slot: int,
+    code_idx: np.ndarray,
+):
+    """Scan references ``index .. index + w`` and plan their batched retire.
+
+    ``horizon`` bounds issue times (references at or past it stay pending);
+    pass ``-1`` for unbounded.  ``code_idx`` holds the L1I line index of
+    each code-region slot, ``-1`` where the slot is absent or the L1I is
+    refresh-blocked (the caller folds its ``busy_horizon`` check in).
+    Returns the shared scan tuple (see :data:`EMPTY_SCAN`).
+    """
+    b = blocks[index : index + w]
+    wr = writes[index : index + w]
+    g = gaps_next[index : index + w]
+
+    # Hit classification.  ``elig`` marks references the scan itself can
+    # retire: L1D presence for reads, MESI write permission (Modified or
+    # Exclusive; an Exclusive first-write retires with an upgrade plan)
+    # for writes.  ``priv`` marks references that are *core-private* even
+    # when not scan-retirable: a read absent from the L1D but resident in
+    # the private L2 is a structural fill -- it touches only this core's
+    # state, commutes with other cores' hits, and executes at the seam
+    # between two scanned segments.  The published frontier extends over
+    # the whole private prefix, not just the retired one.  ``map_blocks``
+    # is sorted and unique (the staging probe builds it with
+    # ``np.unique``), so the lookup is a binary search, not a w-by-m
+    # broadcast.
+    if map_blocks.size == 0:
+        return EMPTY_SCAN
+    mi = np.searchsorted(map_blocks, b)
+    np.minimum(mi, map_blocks.size - 1, out=mi)
+    hit = map_blocks[mi] == b
+    l1d = np.where(hit, map_l1d[mi], -1)
+    l2p = np.where(hit, map_l2[mi], -1)
+    wok = np.where(hit, map_wok[mi], 0)
+    is_wr = wr != 0
+    elig = np.where(is_wr, wok != 0, l1d >= 0)
+    priv = np.where(is_wr, wok != 0, (l1d >= 0) | (l2p >= 0))
+
+    # Issue times: c[k] is reference k's issue cycle, a cumulative sum of
+    # per-reference latency (by operation) plus the trailing gap.  A seam
+    # fill costs *more* than ``read_lat``, so past the first seam ``c``
+    # only underestimates real issue times -- which keeps the frontier
+    # promise conservative, never optimistic.
+    lat = np.where(is_wr, write_lat, read_lat)
+    c = np.empty(w + 1, dtype=np.int64)
+    c[0] = time
+    np.cumsum(lat + g, out=c[1:])
+    c[1:] += time
+
+    bad = np.flatnonzero(~priv)
+    npriv = int(bad[0]) if bad.size else w
+    if npriv == 0:
+        return EMPTY_SCAN
+    ne = np.flatnonzero(~elig[:npriv])
+    nf = int(ne[0]) if ne.size else npriv
+
+    # Instruction-fetch crossings inside the private window: every
+    # ``interval`` instructions one real fetch walks the cyclic code
+    # region.  A crossing whose code slot is not resident (or whose L1I is
+    # blocked) is a slow operation: it caps the private prefix -- and with
+    # it the frontier promise -- *before* the reference whose gap contains
+    # it.  L1I contents only change at slow instruction fetches, so a
+    # residency check now holds for the whole promise window.
+    S = since + np.cumsum(g[:npriv])
+    cross_cum = S // interval
+    total = int(cross_cum[-1])
+    if total > 0:
+        jbad = CROSSING_CAP if total > CROSSING_CAP else -1
+        slots = (slot + np.arange(min(total, CROSSING_CAP))) % code_idx.size
+        miss = np.flatnonzero(code_idx[slots] < 0)
+        if miss.size and (jbad < 0 or int(miss[0]) < jbad):
+            jbad = int(miss[0])
+        if jbad >= 0:
+            cut = int(np.searchsorted(cross_cum, jbad + 1, side="left"))
+            if cut < npriv:
+                npriv = cut
+                if nf > npriv:
+                    nf = npriv
+            if npriv == 0:
+                return EMPTY_SCAN
+
+    if nf == 0:
+        # The pending reference is a seam fill: nothing retires here, but
+        # the private prefix still backs a frontier promise.
+        return (0, 0, int(c[npriv])) + EMPTY_SCAN[3:]
+    n = nf
+    if horizon >= 0:
+        n = min(n, int(np.searchsorted(c[:w], horizon, side="left")))
+    if n == 0:
+        # Horizon-blocked, but the private prefix is real: hand the
+        # frontier back anyway so the caller can publish the promise and
+        # let the driver relax the *other* cores' horizons while this one
+        # waits.
+        return (0, 0, int(c[npriv])) + EMPTY_SCAN[3:]
+
+    ncross = int(cross_cum[n - 1])
+    gsum = int(S[n - 1]) - since
+    since_out = int(S[n - 1]) % interval
+
+    # Touch sequences in program order.  L1D: every read (eligibility
+    # guarantees presence) and every write whose block is L1D-resident,
+    # stamped at issue.  L2: every write, stamped when its access
+    # completes.  L1I: the interval crossings, stamped at the completion
+    # cycle of the reference whose gap made them due.
+    l1d_n = l1d[:n]
+    pd = np.flatnonzero(l1d_n >= 0)
+    d_idx, d_cyc, d_cnt = _rle(l1d_n[pd], c[pd])
+    pw = np.flatnonzero(is_wr[:n])
+    l2_idx, l2_cyc, l2_cnt = _rle(map_l2[mi[pw]], c[pw] + write_lat)
+    if pw.size:
+        upgrades = np.unique(mi[pw][wok[pw] == 2]).tolist()
+    else:
+        upgrades = []
+    if ncross:
+        j = np.arange(ncross)
+        kj = np.searchsorted(cross_cum[:n], j + 1, side="left")
+        i_idx, i_cyc, i_cnt = _rle(
+            code_idx[(slot + j) % code_idx.size], c[kj] + lat[kj]
+        )
+    else:
+        i_idx, i_cyc, i_cnt = [], [], []
+
+    return (
+        n,
+        int(c[n]),
+        int(c[npriv]),
+        d_idx, d_cyc, d_cnt,
+        l2_idx, l2_cyc, l2_cnt,
+        i_idx, i_cyc, i_cnt,
+        int(pw.size),
+        int(pd.size),
+        gsum,
+        ncross,
+        int(lat[:n].sum()),
+        since_out,
+        upgrades,
+    )

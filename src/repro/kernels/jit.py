@@ -1,0 +1,210 @@
+"""The fused-loop scan: same contract as the columnar scan, one pass.
+
+:func:`scan_loop` plans a batched retire exactly like
+:func:`repro.kernels.columnar.scan_columnar`, but as a single fused loop
+over the references instead of ufunc chains.  When numba is installed the
+loop body (:func:`_scan_core`) is ``njit``-compiled -- typed int64 arrays
+in, scalars out, nothing allocated inside -- and one compiled pass beats
+the chained ufuncs on short stretches.  Without numba the very same
+function runs as plain Python: slower, byte-identical, and the reason
+``kernel="numba"`` degrades instead of disappearing on machines without a
+working numba (the ``tier1-no-numba`` CI leg runs exactly this fallback).
+
+``tests/test_property_kernel.py`` pins :func:`scan_loop` against
+:func:`scan_columnar` entry for entry on randomized columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.columnar import CROSSING_CAP, EMPTY_SCAN
+
+try:  # pragma: no cover - exercised on CI where numba is pinned
+    from numba import njit
+except ImportError:  # pragma: no cover - pure-Python fallback environment
+    def njit(*args, **kwargs):  # noqa: D401 - identity decorator stand-in
+        """No-op stand-in: run the decorated function as plain Python."""
+        if args and callable(args[0]) and not kwargs:
+            return args[0]
+
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+
+@njit(cache=True)
+def _scan_core(
+    blocks, writes, gaps_next, index, w, time, horizon,
+    map_blocks, map_l1d, map_l2, map_wok, read_lat, write_lat,
+    since, interval, slot, code_idx,
+    d_idx, d_cyc, d_cnt, l2_idx, l2_cyc, l2_cnt, i_idx, i_cyc, i_cnt,
+    upg_flag,
+):
+    m = map_blocks.size
+    nslots = code_idx.size
+    n = 0
+    nd = 0
+    nl2 = 0
+    ni = 0
+    writes_n = 0
+    d_hits = 0
+    gsum = 0
+    ncross = 0
+    lat_sum = 0
+    since_out = since
+    since_scan = since
+    cross_scan = 0
+    c = time
+    next_time = time
+    emitting = True
+    k = 0
+    while k < w:
+        b = blocks[index + k]
+        l1 = -1
+        l2v = -1
+        wok = 0
+        found = False
+        # map_blocks is sorted and unique: binary search.
+        lo = 0
+        hi = m
+        while lo < hi:
+            mid = (lo + hi) >> 1
+            if map_blocks[mid] < b:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < m and map_blocks[lo] == b:
+            l1 = map_l1d[lo]
+            l2v = map_l2[lo]
+            wok = map_wok[lo]
+            found = True
+        if writes[index + k] != 0:
+            # Writable (Modified or Exclusive) lines retire in-scan; an
+            # Exclusive first-write is flagged for the caller's batch-end
+            # upgrade.  Anything else ends the private prefix.
+            el = found and wok != 0
+            pv = el
+            lat = write_lat
+        else:
+            # L1D-resident reads retire in-scan; an L1D miss resident in
+            # the private L2 is a seam fill -- private (the frontier runs
+            # past it) but retired by the caller, not the scan.
+            el = l1 >= 0
+            pv = el or (found and l2v >= 0)
+            lat = read_lat
+        if not pv:
+            break
+        gap = gaps_next[index + k]
+        s2 = since_scan + gap
+        nc_gap = s2 // interval
+        if nc_gap > 0:
+            bad = cross_scan + nc_gap > CROSSING_CAP
+            if not bad:
+                for j in range(nc_gap):
+                    if code_idx[(slot + cross_scan + j) % nslots] < 0:
+                        bad = True
+                        break
+            if bad:
+                break
+        if emitting and (not el or (horizon >= 0 and c >= horizon)):
+            emitting = False
+            next_time = c
+        if emitting:
+            if l1 >= 0:
+                d_hits += 1
+                if nd > 0 and d_idx[nd - 1] == l1:
+                    d_cyc[nd - 1] = c
+                    d_cnt[nd - 1] += 1
+                else:
+                    d_idx[nd] = l1
+                    d_cyc[nd] = c
+                    d_cnt[nd] = 1
+                    nd += 1
+            if writes[index + k] != 0:
+                writes_n += 1
+                if wok == 2:
+                    upg_flag[lo] = 1
+                tc = c + write_lat
+                if nl2 > 0 and l2_idx[nl2 - 1] == l2v:
+                    l2_cyc[nl2 - 1] = tc
+                    l2_cnt[nl2 - 1] += 1
+                else:
+                    l2_idx[nl2] = l2v
+                    l2_cyc[nl2] = tc
+                    l2_cnt[nl2] = 1
+                    nl2 += 1
+            for j in range(nc_gap):
+                ci = code_idx[(slot + cross_scan + j) % nslots]
+                fc = c + lat
+                if ni > 0 and i_idx[ni - 1] == ci:
+                    i_cyc[ni - 1] = fc
+                    i_cnt[ni - 1] += 1
+                else:
+                    i_idx[ni] = ci
+                    i_cyc[ni] = fc
+                    i_cnt[ni] = 1
+                    ni += 1
+            gsum += gap
+            ncross += nc_gap
+            lat_sum += lat
+            since_out = s2 % interval
+            n += 1
+        since_scan = s2 % interval
+        cross_scan += nc_gap
+        c = c + lat + gap
+        k += 1
+    if emitting:
+        next_time = c
+    # c now sits at the issue time of the first reference the stretch could
+    # not promise (non-private, bad crossing, or window end): the frontier.
+    return (
+        n, next_time, c, nd, nl2, ni,
+        writes_n, d_hits, gsum, ncross, lat_sum, since_out,
+    )
+
+
+def scan_loop(
+    blocks, writes, gaps_next, index, w, time, horizon,
+    map_blocks, map_l1d, map_l2, map_wok, read_lat, write_lat,
+    since, interval, slot, code_idx,
+):
+    """Fused-loop twin of :func:`~repro.kernels.columnar.scan_columnar`."""
+    d_idx = np.empty(w, dtype=np.int64)
+    d_cyc = np.empty(w, dtype=np.int64)
+    d_cnt = np.empty(w, dtype=np.int64)
+    l2_idx = np.empty(w, dtype=np.int64)
+    l2_cyc = np.empty(w, dtype=np.int64)
+    l2_cnt = np.empty(w, dtype=np.int64)
+    i_idx = np.empty(CROSSING_CAP, dtype=np.int64)
+    i_cyc = np.empty(CROSSING_CAP, dtype=np.int64)
+    i_cnt = np.empty(CROSSING_CAP, dtype=np.int64)
+    upg_flag = np.zeros(map_blocks.size, dtype=np.int64)
+    (
+        n, next_time, frontier, nd, nl2, ni,
+        writes_n, d_hits, gsum, ncross, lat_sum, since_out,
+    ) = _scan_core(
+        blocks, writes, gaps_next, index, w, time, horizon,
+        map_blocks, map_l1d, map_l2, map_wok, read_lat, write_lat,
+        since, interval, slot, code_idx,
+        d_idx, d_cyc, d_cnt, l2_idx, l2_cyc, l2_cnt, i_idx, i_cyc, i_cnt,
+        upg_flag,
+    )
+    if n == 0:
+        # Keep the frontier visible even when the horizon (or a leading
+        # seam) blocked every retire: the caller publishes it as a promise
+        # for the driver.  A frontier at the start time carries no
+        # promise; collapse it to the empty result like the columnar twin.
+        if frontier <= time:
+            return EMPTY_SCAN
+        return (0, 0, int(frontier)) + EMPTY_SCAN[3:]
+    return (
+        int(n), int(next_time), int(frontier),
+        d_idx[:nd].tolist(), d_cyc[:nd].tolist(), d_cnt[:nd].tolist(),
+        l2_idx[:nl2].tolist(), l2_cyc[:nl2].tolist(), l2_cnt[:nl2].tolist(),
+        i_idx[:ni].tolist(), i_cyc[:ni].tolist(), i_cnt[:ni].tolist(),
+        int(writes_n), int(d_hits), int(gsum), int(ncross), int(lat_sum),
+        int(since_out),
+        np.flatnonzero(upg_flag).tolist(),
+    )

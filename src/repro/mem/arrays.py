@@ -53,6 +53,32 @@ from repro.mem.line import (
 )
 
 
+def last_occurrence_plan(indices, cycles, counts, tick):
+    """Plan a bulk run landing: reduce a touch run to each line's last touch.
+
+    ``(indices, cycles, counts)`` is a coalesced touch run in program order
+    (see :meth:`repro.mem.cache.Cache.access_run`).  Sequential landing
+    overwrites a line's timestamps on every entry, so only the *last*
+    occurrence of each line index is observable; its LRU stamp is the
+    cumulative tick after that entry.  Returns ``(idx, cyc, stamp,
+    new_tick)`` numpy arrays covering exactly those last occurrences --
+    free of duplicate indices, so they can land as plain fancy-indexed
+    stores with no ordering assumptions -- plus the advanced tick.
+
+    Requires numpy (the caller gates on :data:`HAVE_NUMPY` by only binding
+    the bulk landing on the numpy backend).
+    """
+    idx = _np.asarray(indices, dtype=_np.int64)
+    cyc = _np.asarray(cycles, dtype=_np.int64)
+    stamps = tick + _np.cumsum(_np.asarray(counts, dtype=_np.int64))
+    new_tick = int(stamps[-1])
+    # np.unique on the reversed indices keeps each value's first position
+    # there, i.e. its last occurrence in program order.
+    _, first_rev = _np.unique(idx[::-1], return_index=True)
+    keep = idx.size - 1 - first_rev
+    return idx[keep], cyc[keep], stamps[keep], new_tick
+
+
 class LineArrays:
     """Parallel per-field vectors for every line of one cache instance.
 

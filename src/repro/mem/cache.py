@@ -42,6 +42,7 @@ from repro.mem.arrays import (
     ArrayCacheLine,
     ArrayDirectoryLine,
     LineArrays,
+    last_occurrence_plan,
 )
 
 if HAVE_NUMPY:
@@ -162,6 +163,7 @@ class Cache:
                 self.valid_indices_in_range = self._valid_indices_in_range_numpy
                 self.stamp_invalid_range = self._stamp_invalid_range_numpy
                 self.dirty_indices = self._dirty_indices_numpy
+                self.access_run = self._access_run_numpy
         else:
             factory = line_factory if line_factory is not None else (
                 DirectoryLine if directory else CacheLine
@@ -366,6 +368,38 @@ class Cache:
             refresh_count[index] = -1
             tick += counts[k]
             stamps[index] = tick
+        self._lru_tick = tick
+
+    #: Below this many coalesced entries the scalar loop beats the numpy
+    #: bulk landing (array conversion and unique dominate); the two are
+    #: byte-identical, so the crossover is purely a speed choice.
+    _NUMPY_RUN_MIN = 24
+
+    def _access_run_numpy(
+        self,
+        indices: Sequence[int],
+        cycles: Sequence[int],
+        counts: Sequence[int],
+    ) -> None:
+        """Numpy-backend :meth:`access_run`: land a run as array writes.
+
+        Only each line's *final* touch survives a landing (the cycle of its
+        last hit and the LRU stamp its last hit advanced the tick to), so
+        the run is reduced to last occurrences
+        (:func:`repro.mem.arrays.last_occurrence_plan`) and landed with
+        four fancy-indexed stores -- no per-entry Python iteration,
+        byte-identical to the scalar loop.
+        """
+        if len(indices) < self._NUMPY_RUN_MIN:
+            return Cache.access_run(self, indices, cycles, counts)
+        idx, cyc, stamp, tick = last_occurrence_plan(
+            indices, cycles, counts, self._lru_tick
+        )
+        arrays = self.arrays
+        arrays.last_access_cycle[idx] = cyc
+        arrays.last_refresh_cycle[idx] = cyc
+        arrays.refresh_count[idx] = -1
+        arrays.lru_stamp[idx] = stamp
         self._lru_tick = tick
 
     def choose_victim_index(self, block_address: int) -> int:

@@ -216,6 +216,22 @@ class EventQueue:
         """
         return next(self._counter)
 
+    def claim_seq_bulk(self, n: int) -> int:
+        """Claim ``n`` consecutive sequence numbers, returning the last one.
+
+        The batch-replay kernel retires a whole stretch of references in
+        one call but must consume exactly the sequence numbers the scalar
+        loop would have (one per executed reference with a successor), or
+        the (time, seq) order of later events shifts and replay stops
+        being byte-identical.  Rebinding the counter skips the n-1
+        intermediate draws in O(1); callers must re-read ``_counter``
+        afterwards rather than hold an alias across this call.
+        """
+        first = next(self._counter)
+        if n > 1:
+            self._counter = itertools.count(first + n)
+        return first + n - 1
+
     def advance_clock(self, time: int) -> None:
         """Advance the clock to ``time`` (inline work executed off-queue).
 

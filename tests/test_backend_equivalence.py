@@ -36,15 +36,19 @@ LENGTH_SCALE = 0.1
 
 APPLICATIONS = ("fft", "blackscholes")
 
-#: Every cache backend crossed with every replay mode, compared against the
-#: (object, event) reference.  The numpy backend rides along when numpy is
-#: installed and is skipped (not failed) when it is absent.
+#: Every cache backend crossed with every replay mode and every batch
+#: kernel, compared against the (object, event, off) reference.  The numpy
+#: backend and the kernel modes ride along when numpy is installed and are
+#: skipped (not failed) when it is absent; kernels only combine with
+#: run-ahead replay (the simulator rejects them under event replay).
 BACKENDS = ("object", "array") + (("numpy",) if HAVE_NUMPY else ())
+KERNELS = ("off",) + (("numpy", "numba") if HAVE_NUMPY else ())
 VARIANTS = [
-    (backend, replay)
+    (backend, replay, kernel)
     for backend in BACKENDS
     for replay in ("event", "runahead")
-    if (backend, replay) != ("object", "event")
+    for kernel in (KERNELS if replay == "runahead" else ("off",))
+    if (backend, replay, kernel) != ("object", "event", "off")
 ]
 
 
@@ -116,19 +120,19 @@ def reference_results(architecture, workloads):
     }
 
 
-@pytest.mark.parametrize("backend,replay", VARIANTS)
+@pytest.mark.parametrize("backend,replay,kernel", VARIANTS)
 @pytest.mark.parametrize(
     "config_label", ["SRAM", "P.all", "P.valid", "P.WB(32,32)", "R.WB(32,32)"]
 )
 @pytest.mark.parametrize("application", APPLICATIONS)
 def test_all_backends_and_replays_are_byte_identical(
     architecture, workloads, reference_results, config_label, application,
-    backend, replay,
+    backend, replay, kernel,
 ):
     config = _config_matrix(architecture)[config_label]
-    result = RefrintSimulator(config, cache_backend=backend, replay=replay).run(
-        workloads[application]
-    )
+    result = RefrintSimulator(
+        config, cache_backend=backend, replay=replay, kernel=kernel
+    ).run(workloads[application])
     assert _canonical_bytes(result) == reference_results[(config_label, application)]
 
 
@@ -233,10 +237,19 @@ class TestHorizonBoundary:
             // architecture.l3_bank.num_refresh_groups
         )
         workload = self._aligned_workload(architecture, stride, other_gap)
+        # Kernel scans cap stretches at the same boundaries the scalar
+        # run-ahead loop yields at, so every kernel mode must reproduce the
+        # event ordering on deadline-aligned references too.
+        variants = [("event", "off"), ("runahead", "off")]
+        variants += [("runahead", kernel) for kernel in KERNELS[1:]]
         results = {
-            replay: _canonical_bytes(
-                RefrintSimulator(config, replay=replay).run(workload)
+            (replay, kernel): _canonical_bytes(
+                RefrintSimulator(config, replay=replay, kernel=kernel).run(
+                    workload
+                )
             )
-            for replay in ("event", "runahead")
+            for replay, kernel in variants
         }
-        assert results["event"] == results["runahead"]
+        reference = results[("event", "off")]
+        for key, produced in results.items():
+            assert produced == reference, key

@@ -1,0 +1,235 @@
+"""Property pins for the batch-replay kernel (see :mod:`repro.kernels`).
+
+Two layers:
+
+* Scan-twin equivalence: :func:`repro.kernels.columnar.scan_columnar` and
+  :func:`repro.kernels.jit.scan_loop` implement one shared contract as
+  ufunc chains and as a fused loop.  Hypothesis drives both over random
+  trace columns, hit maps and fetch state and compares the full result
+  tuple entry for entry -- retire counts, times, frontier, RLE touch
+  lists, tallies and the upgrade plan.
+
+* Kernel-vs-scalar equivalence: a kernel batch must equal n iterations of
+  :meth:`~repro.cpu.core.Core.step_fast`, which in turn equals event
+  replay.  Hypothesis-built random workloads run through the simulator
+  under every kernel mode and the canonical JSON results are compared
+  byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.parameters import (
+    DataPolicySpec,
+    RefreshConfig,
+    SimulationConfig,
+    TimingPolicyKind,
+)
+from repro.config.presets import scaled_architecture, scaled_retention_cycles
+from repro.core.simulator import RefrintSimulator
+from repro.cpu.trace import MemoryOperation, TraceRecord, TraceStream
+from repro.mem.arrays import HAVE_NUMPY
+from repro.workloads.suite import ApplicationWorkload, build_application
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="the batch kernels stage into numpy buffers"
+)
+
+if HAVE_NUMPY:
+    import numpy as np
+
+    from repro.kernels.columnar import scan_columnar
+    from repro.kernels.jit import scan_loop
+
+
+LINE = 64
+
+
+@st.composite
+def scan_cases(draw):
+    """One full argument set for the shared scan contract."""
+    m = draw(st.integers(min_value=1, max_value=12))
+    map_blocks = np.array(
+        sorted(draw(st.sets(st.integers(0, 40), min_size=m, max_size=m)))
+    ) * LINE
+    map_l1d = np.array(
+        draw(st.lists(st.integers(-1, 30), min_size=m, max_size=m))
+    )
+    map_l2 = np.array(
+        draw(st.lists(st.integers(-1, 60), min_size=m, max_size=m))
+    )
+    map_wok = np.array(
+        draw(st.lists(st.integers(0, 2), min_size=m, max_size=m))
+    )
+    w = draw(st.integers(min_value=1, max_value=40))
+    # Mostly mapped blocks, occasionally strays outside the map.
+    blocks = np.array(
+        [
+            map_blocks[draw(st.integers(0, m - 1))]
+            if draw(st.booleans())
+            else draw(st.integers(0, 41)) * LINE
+            for _ in range(w)
+        ]
+    )
+    writes = np.array(draw(st.lists(st.integers(0, 1), min_size=w, max_size=w)))
+    gaps = np.array(draw(st.lists(st.integers(0, 40), min_size=w, max_size=w)))
+    interval = draw(st.integers(min_value=1, max_value=8))
+    nslots = draw(st.integers(min_value=1, max_value=8))
+    code_idx = np.array(
+        draw(st.lists(st.integers(-1, 10), min_size=nslots, max_size=nslots))
+    )
+    time = draw(st.integers(min_value=0, max_value=50))
+    horizon = draw(
+        st.one_of(st.just(-1), st.integers(min_value=0, max_value=150))
+    )
+    return dict(
+        blocks=blocks,
+        writes=writes,
+        gaps_next=gaps,
+        index=0,
+        w=w,
+        time=time,
+        horizon=horizon,
+        map_blocks=map_blocks,
+        map_l1d=map_l1d,
+        map_l2=map_l2,
+        map_wok=map_wok,
+        read_lat=draw(st.integers(1, 4)),
+        write_lat=draw(st.integers(1, 6)),
+        since=draw(st.integers(0, interval - 1)),
+        interval=interval,
+        slot=draw(st.integers(0, nslots - 1)),
+        code_idx=code_idx,
+    )
+
+
+@given(case=scan_cases())
+@settings(max_examples=300, deadline=None)
+def test_scan_twins_agree_entry_for_entry(case):
+    assert scan_columnar(**case) == scan_loop(**case)
+
+
+def test_scan_twins_agree_on_empty_map():
+    empty = np.empty(0, dtype=np.int64)
+    case = dict(
+        blocks=np.array([0, LINE]),
+        writes=np.array([0, 1]),
+        gaps_next=np.array([3, 0]),
+        index=0,
+        w=2,
+        time=5,
+        horizon=-1,
+        map_blocks=empty,
+        map_l1d=empty,
+        map_l2=empty,
+        map_wok=empty,
+        read_lat=1,
+        write_lat=2,
+        since=0,
+        interval=4,
+        slot=0,
+        code_idx=np.array([1, 2]),
+    )
+    assert scan_columnar(**case) == scan_loop(**case)
+    assert scan_columnar(**case)[0] == 0
+
+
+# -- simulator-level equivalence ----------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def architecture():
+    return scaled_architecture()
+
+
+@pytest.fixture(scope="module")
+def edram_config(architecture):
+    retention = scaled_retention_cycles(50.0)
+    refresh = RefreshConfig(
+        retention_cycles=retention,
+        sentry_margin_cycles=RefreshConfig.derive_sentry_margin(
+            architecture.l3_bank.num_lines, retention
+        ),
+        timing_policy=TimingPolicyKind.REFRINT,
+        l3_data_policy=DataPolicySpec.writeback(32, 32),
+    )
+    return SimulationConfig.edram(refresh, architecture)
+
+
+def _canonical(config, workload, kernel):
+    simulator = RefrintSimulator(config, replay="runahead", kernel=kernel)
+    result = simulator.run(workload)
+    return (
+        json.dumps(result.to_dict(), sort_keys=True),
+        simulator.last_replay_stats,
+    )
+
+
+def _random_workload(architecture, spec_source, record_lists):
+    traces = tuple(
+        TraceStream(
+            [
+                TraceRecord(
+                    address=0x2000_0000 + core * 0x4_0000 + block * LINE,
+                    operation=(
+                        MemoryOperation.WRITE if write else MemoryOperation.READ
+                    ),
+                    gap_instructions=gap,
+                )
+                for block, write, gap in records
+            ],
+            thread_id=core,
+        )
+        for core, records in enumerate(record_lists)
+    )
+    return ApplicationWorkload(spec=spec_source.spec, traces=traces)
+
+
+@given(
+    data=st.lists(
+        st.lists(
+            st.tuples(
+                st.integers(0, 12),  # block (small pool: hits and reuse)
+                st.booleans(),  # write
+                st.integers(0, 30),  # trailing gap
+            ),
+            min_size=0,
+            max_size=24,
+        ),
+        min_size=16,
+        max_size=16,
+    )
+)
+@settings(max_examples=8, deadline=None)
+def test_kernel_equals_scalar_on_random_workloads(
+    architecture, edram_config, data
+):
+    """kernel in {numpy, numba} == n x step_fast == kernel off, bytewise."""
+    fft = build_application("fft", architecture, length_scale=0.01)
+    workload = _random_workload(architecture, fft, data)
+    baseline, _ = _canonical(edram_config, workload, "off")
+    for kernel in ("numpy", "numba"):
+        produced, stats = _canonical(edram_config, workload, kernel)
+        assert produced == baseline, kernel
+        assert stats.kernel_accesses <= stats.private_hit_references
+        assert 0.0 <= stats.kernel_coverage <= 1.0
+
+
+def test_kernel_counters_report_coverage(architecture, edram_config):
+    """The real workload runs mostly through the kernel, exactly counted."""
+    workload = build_application("fft", architecture, length_scale=0.05)
+    _, off_stats = _canonical(edram_config, workload, "off")
+    assert off_stats.kernel_batches == 0
+    assert off_stats.kernel_accesses == 0
+    assert off_stats.kernel_coverage == 0.0
+    _, stats = _canonical(edram_config, workload, "numpy")
+    assert stats.kernel_batches > 0
+    assert stats.kernel_accesses > 0
+    assert stats.slow_references == off_stats.slow_references
+    assert stats.kernel_accesses <= stats.private_hit_references
+    assert stats.kernel_coverage > 0.5
