@@ -37,8 +37,12 @@ from repro.campaign import (
     CampaignStats,
     ParallelExecutor,
     ResultStore,
+    SegmentResultStore,
     SerialExecutor,
+    StoreSweep,
+    open_store,
     run_campaign,
+    stream_campaign,
 )
 from repro.config.parameters import (
     ArchitectureConfig,
@@ -67,13 +71,17 @@ __all__ = [
     "RefreshConfig",
     "RefrintSimulator",
     "ResultStore",
+    "SegmentResultStore",
     "SerialExecutor",
     "SimulationConfig",
     "SimulationResult",
+    "StoreSweep",
     "SweepResult",
     "TimingPolicyKind",
     "WorkloadRequest",
+    "open_store",
     "run_campaign",
     "run_sweep",
+    "stream_campaign",
     "__version__",
 ]

@@ -1,4 +1,4 @@
-"""Campaign engine: parallel, resumable execution of simulation sweeps.
+"""Campaign engine: parallel, resumable, streaming execution of sweeps.
 
 The Table 5.4 grid is embarrassingly parallel -- every (application, policy
 point) pair is an independent simulation -- yet the original ``run_sweep``
@@ -10,34 +10,77 @@ each invocation.  This package turns a sweep into a *campaign*:
   workload recipe);
 * :mod:`repro.campaign.executors` runs jobs through pluggable executors --
   in-process :class:`~repro.campaign.executors.SerialExecutor` or the
-  process-pool :class:`~repro.campaign.executors.ParallelExecutor`, which
-  regenerates each seeded workload inside the worker so results are
-  bit-identical to a serial run;
-* :mod:`repro.campaign.store` persists every result to a JSON
-  :class:`~repro.campaign.store.ResultStore` keyed by job hash, so resumed
-  or extended campaigns only simulate points they have never seen;
+  persistent-pool :class:`~repro.campaign.executors.ParallelExecutor`,
+  which deals work-stealing chunks to worker processes and streams results
+  back in completion order, bit-identical to a serial run;
+* :mod:`repro.campaign.store` and :mod:`repro.campaign.segments` persist
+  every result keyed by job hash behind one
+  :class:`~repro.campaign.store.BaseResultStore` interface: one JSON file
+  per result (:class:`~repro.campaign.store.ResultStore`) or indexed
+  append-only segments
+  (:class:`~repro.campaign.segments.SegmentResultStore`, the right fit at
+  10k+ points) -- resumed or extended campaigns only simulate points they
+  have never seen;
 * :mod:`repro.campaign.engine` ties it together:
-  :func:`~repro.campaign.engine.run_campaign` returns the familiar
-  :class:`~repro.core.sweep.SweepResult` plus execution statistics.
+  :func:`~repro.campaign.engine.stream_campaign` yields ``(job, result)``
+  as each completes (bounded memory at any grid size) and
+  :func:`~repro.campaign.engine.run_campaign` drains that stream into the
+  familiar :class:`~repro.core.sweep.SweepResult` plus execution
+  statistics;
+* :mod:`repro.campaign.view` aggregates straight from a store:
+  :class:`~repro.campaign.view.StoreSweep` duck-types ``SweepResult`` for
+  the figure/table layer while loading results on demand.
 """
 
-from repro.campaign.engine import CampaignStats, run_campaign
-from repro.campaign.executors import ParallelExecutor, SerialExecutor, execute_job
+from repro.campaign.engine import (
+    CampaignStats,
+    CampaignStream,
+    run_campaign,
+    stream_campaign,
+)
+from repro.campaign.executors import (
+    ParallelExecutor,
+    SerialExecutor,
+    execute_job,
+    group_jobs_by_workload,
+)
 from repro.campaign.jobs import Job, enumerate_jobs
-from repro.campaign.maintenance import store_gc, store_ls, store_verify
-from repro.campaign.store import ResultStore, StoreProvenanceError
+from repro.campaign.maintenance import (
+    migrate_store,
+    store_gc,
+    store_ls,
+    store_verify,
+)
+from repro.campaign.segments import SegmentResultStore
+from repro.campaign.store import (
+    BaseResultStore,
+    ResultStore,
+    StoreProvenanceError,
+    detect_backend,
+    open_store,
+)
+from repro.campaign.view import StoreSweep
 
 __all__ = [
+    "BaseResultStore",
     "CampaignStats",
+    "CampaignStream",
     "Job",
     "ParallelExecutor",
     "ResultStore",
+    "SegmentResultStore",
     "SerialExecutor",
     "StoreProvenanceError",
+    "StoreSweep",
+    "detect_backend",
     "enumerate_jobs",
     "execute_job",
+    "group_jobs_by_workload",
+    "migrate_store",
+    "open_store",
     "run_campaign",
     "store_gc",
     "store_ls",
     "store_verify",
+    "stream_campaign",
 ]

@@ -1,24 +1,46 @@
 """Pluggable campaign executors.
 
 Both executors consume a list of :class:`~repro.campaign.jobs.Job` and yield
-``(job, SimulationResult)`` pairs:
+``(job, SimulationResult)`` pairs *as each job completes*, so the campaign
+engine can commit results to the store incrementally with bounded memory:
 
 * :class:`SerialExecutor` runs jobs in-process.  It can be seeded with
   already-built workloads (the classic ``run_sweep`` path) and otherwise
   regenerates them from the job's :class:`WorkloadRequest`, caching per
   application so the 43 points of one application share one trace.
-* :class:`ParallelExecutor` fans jobs out over a
-  :class:`concurrent.futures.ProcessPoolExecutor`.  Only the tiny picklable
-  job (recipe + config) crosses the process boundary; each worker rebuilds
-  the workload from its seed, so results are bit-identical to a serial run
-  while the campaign scales with cores.
+* :class:`ParallelExecutor` fans jobs out over a *persistent*
+  :class:`concurrent.futures.ProcessPoolExecutor`: the pool is created
+  lazily on first use and reused across ``run`` calls, so repeated
+  campaigns (a resumed sweep, a service answering queries) pay the
+  fork-and-import cost once.  Only the tiny picklable jobs (recipe +
+  config) cross the process boundary; each worker rebuilds the workload
+  from its seed, so results are bit-identical to a serial run while the
+  campaign scales with cores.
+
+Work is dealt in small chunks with work-stealing refill: the per-workload
+grouping is computed once (:func:`group_jobs_by_workload`), each free
+worker pulls the next chunk from the workload group with the most backlog,
+and at most a bounded number of chunks are in flight -- no worker idles
+behind a pre-assigned giant batch, no 100k-job campaign materialises all
+its futures (or their results) at once, and a slow consumer of the result
+iterator back-pressures submission instead of buffering unboundedly.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import weakref
+from collections import OrderedDict, deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, Iterator, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Deque,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.campaign.jobs import Job
 from repro.config.parameters import ArchitectureConfig
@@ -39,6 +61,11 @@ _WORKLOAD_CACHE: "OrderedDict[Tuple[WorkloadRequest, ArchitectureConfig], Applic
     OrderedDict()
 )
 _WORKLOAD_CACHE_MAX = 4
+
+#: Upper bound on jobs per submitted chunk.  Small enough that a completed
+#: chunk's results are a bounded buffer and stealing stays fine-grained,
+#: large enough to amortise the per-future pickling overhead.
+CHUNK_CAP = 32
 
 
 def build_workload(job: Job) -> ApplicationWorkload:
@@ -63,31 +90,51 @@ def execute_job(job: Job) -> SimulationResult:
 def execute_job_batch(jobs: Sequence[Job]) -> "list[SimulationResult]":
     """Run a batch of jobs in one worker (all sharing one workload key).
 
-    Batches are formed by :func:`batch_jobs_by_workload`, so the first job
-    regenerates (or finds cached) the batch's trace and the rest reuse it
-    -- the worker-side memoisation that keeps a many-point sweep from
-    rebuilding the same application's trace once per point.
+    Batches are chunks of one workload group
+    (:func:`group_jobs_by_workload`), so the first job regenerates (or
+    finds cached) the chunk's trace and the rest reuse it -- the
+    worker-side memoisation that keeps a many-point sweep from rebuilding
+    the same application's trace once per point.
     """
     return [execute_job(job) for job in jobs]
 
 
-def batch_jobs_by_workload(
-    jobs: Sequence[Job], max_workers: int
-) -> "list[list[Job]]":
-    """Group jobs by workload so each batch regenerates one trace at most.
+def group_jobs_by_workload(
+    jobs: Sequence[Job],
+) -> "OrderedDict[Tuple[WorkloadRequest, ArchitectureConfig], List[Job]]":
+    """Group jobs by (workload recipe, architecture), preserving job order.
 
-    Jobs sharing a (workload recipe, architecture) key land in the same
-    batch -- the expensive part of a job's setup is the seeded trace
-    regeneration, which is identical for every point of one application.
-    Large groups are split into up to ``max_workers`` batches so a
-    single-application campaign still spreads over the whole pool; the
-    submission order of jobs within a group is preserved.
+    Computed **once** per campaign and reused for every pool refill -- the
+    grouping is a full pass over the job list, which must not be repeated
+    each time a worker asks for another chunk.
     """
-    grouped: "OrderedDict[Tuple[WorkloadRequest, ArchitectureConfig], list[Job]]" = (
+    grouped: "OrderedDict[Tuple[WorkloadRequest, ArchitectureConfig], List[Job]]" = (
         OrderedDict()
     )
     for job in jobs:
         grouped.setdefault((job.workload, job.config.architecture), []).append(job)
+    return grouped
+
+
+def batch_jobs_by_workload(
+    jobs: Sequence[Job],
+    max_workers: int,
+    groups: Optional[Mapping] = None,
+) -> "list[list[Job]]":
+    """Split jobs into per-workload batches (static pre-split form).
+
+    Jobs sharing a (workload recipe, architecture) key land in the same
+    batch; large groups are split into up to ``max_workers`` batches so a
+    single-application campaign still spreads over the whole pool, and the
+    submission order of jobs within a group is preserved.  ``groups``
+    accepts a precomputed :func:`group_jobs_by_workload` mapping so callers
+    that already grouped the jobs don't pay a second pass.
+
+    The streaming executor no longer pre-splits (it deals bounded chunks
+    with work-stealing refill); this remains for callers that want a static
+    partition of a job list.
+    """
+    grouped = groups if groups is not None else group_jobs_by_workload(jobs)
     batches: "list[list[Job]]" = []
     for group in grouped.values():
         num_batches = min(max_workers, len(group))
@@ -96,6 +143,24 @@ def batch_jobs_by_workload(
             group[start:start + size] for start in range(0, len(group), size)
         )
     return batches
+
+
+def plan_chunk(
+    queues: Sequence[Deque[Job]], max_workers: int, chunk_cap: int = CHUNK_CAP
+) -> "list[Job]":
+    """Steal the next chunk of jobs from the group with the most backlog.
+
+    Pulls from the front of the longest queue (preserving within-group
+    submission order) and sizes the chunk so every group still splits into
+    roughly ``2 x max_workers`` chunks -- fine-grained enough that a free
+    worker always finds work, coarse enough to amortise submission cost.
+    Returns an empty list when every queue is drained.
+    """
+    queue = max(queues, key=len, default=None)
+    if queue is None or not queue:
+        return []
+    size = max(1, min(chunk_cap, -(-len(queue) // (2 * max_workers))))
+    return [queue.popleft() for _ in range(min(size, len(queue)))]
 
 
 class SerialExecutor:
@@ -134,41 +199,94 @@ class SerialExecutor:
         finally:
             # Traces are only worth caching within one campaign; release the
             # memory so long-lived parent processes don't pin dead workloads.
-            # (Parallel workers die with their pool, reclaiming theirs.)
+            # (Parallel workers' caches are bounded and die with the pool.)
             _WORKLOAD_CACHE.clear()
 
 
 class ParallelExecutor:
-    """Run campaign jobs across a pool of worker processes."""
+    """Run campaign jobs across a persistent pool of worker processes."""
 
-    def __init__(self, max_workers: int) -> None:
+    def __init__(self, max_workers: int, chunk_cap: int = CHUNK_CAP) -> None:
         if max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        if chunk_cap < 1:
+            raise ValueError("chunk_cap must be >= 1")
         self.max_workers = max_workers
+        self.chunk_cap = chunk_cap
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._finalizer: Optional[weakref.finalize] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """Create the worker pool on first use; reuse it afterwards."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            # Reap the workers when the executor object is dropped without
+            # an explicit shutdown() (wait=False: never block a GC).
+            self._finalizer = weakref.finalize(
+                self, ProcessPoolExecutor.shutdown, self._pool, wait=False
+            )
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Stop the worker pool (a later ``run`` recreates it)."""
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
 
     def run(
         self, jobs: Sequence[Job], progress: Optional[ProgressFn] = None
     ) -> Iterator[Tuple[Job, SimulationResult]]:
-        """Yield ``(job, result)`` in completion order.
+        """Yield ``(job, result)`` in completion order, streaming.
 
-        Jobs are submitted as per-workload batches
-        (:func:`batch_jobs_by_workload`): a worker regenerates a batch's
-        trace once and runs every point of the batch against it, instead of
-        pulling arbitrary jobs and thrashing its workload cache when a
-        campaign interleaves more applications than the cache holds.
+        The per-workload grouping is computed once; chunks of at most
+        ``chunk_cap`` jobs are dealt to the pool with work-stealing refill
+        (each completion triggers one steal from the group with the most
+        backlog) and at most ``2 x max_workers`` chunks are in flight.
+        Because refill happens between yields, a consumer that stops
+        pulling stops submission too -- natural backpressure.
         """
-        batches = batch_jobs_by_workload(jobs, self.max_workers)
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-            future_to_batch = {
-                pool.submit(execute_job_batch, batch): batch for batch in batches
-            }
-            pending = set(future_to_batch)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+        if not jobs:
+            return
+        queues: List[Deque[Job]] = [
+            deque(group) for group in group_jobs_by_workload(jobs).values()
+        ]
+        pool = self._ensure_pool()
+        max_inflight = 2 * self.max_workers
+        future_to_chunk = {}
+        try:
+            while len(future_to_chunk) < max_inflight:
+                chunk = plan_chunk(queues, self.max_workers, self.chunk_cap)
+                if not chunk:
+                    break
+                future_to_chunk[pool.submit(execute_job_batch, chunk)] = chunk
+            while future_to_chunk:
+                done, _ = wait(future_to_chunk, return_when=FIRST_COMPLETED)
                 for future in done:
-                    batch = future_to_batch[future]
+                    chunk = future_to_chunk.pop(future)
                     results = future.result()
-                    for job, result in zip(batch, results):
+                    # Refill before yielding so workers stay busy while the
+                    # consumer processes this chunk's results.
+                    while len(future_to_chunk) < max_inflight:
+                        refill = plan_chunk(queues, self.max_workers, self.chunk_cap)
+                        if not refill:
+                            break
+                        future_to_chunk[pool.submit(execute_job_batch, refill)] = refill
+                    for job, result in zip(chunk, results):
                         if progress is not None:
                             progress(f"{job.application}: {job.label}")
                         yield job, result
+        finally:
+            # Consumer abandoned the iterator (or a worker raised): drop
+            # whatever has not started; running chunks finish and are
+            # discarded, the pool itself stays warm for the next run.
+            for future in future_to_chunk:
+                future.cancel()

@@ -1,25 +1,39 @@
-"""Result-store maintenance: listing, garbage collection, verification.
+"""Result-store maintenance: listing, garbage collection, verification, migration.
 
 A campaign result store accretes state over many runs: interrupted writes
 leave ``*.tmp`` orphans, disk corruption or hand-editing can truncate
-entries, and an entry's filename is a content hash that should always match
-what is inside the file.  The three operations here keep a store healthy:
+entries, and an entry's identity is a content hash that should always match
+what is inside the record.  The operations here keep a store healthy, on
+**both** backends (the per-file JSON layout and the indexed segment
+layout -- :func:`repro.campaign.store.detect_backend` picks the scan):
 
 ``ls``
-    One line per entry (key prefix, application, policy label, trace
-    parameters) without loading full results into memory.
+    One line per entry (key prefix, application, policy label) without
+    loading full results into memory.
 
 ``gc``
-    Remove temp-file orphans and entries that cannot be parsed or whose
-    result payload does not round-trip -- the files a ``resume`` would
-    silently recompute anyway, now deleted instead of shadowing the store.
+    JSON backend: remove temp-file orphans and entries that cannot be
+    parsed or whose result payload does not round-trip.  Segment backend:
+    delete orphaned segment files (not referenced by any index entry),
+    rewrite the index without entries whose records are corrupt or
+    mismatched, and repair crash damage (truncated tails, unindexed
+    records) by re-running the store's recovery.
 
 ``verify``
     Re-derive each entry's content hash from the persisted canonical job
-    payload and compare it to the filename, and check the result payload
-    round-trips bit-exactly through :class:`SimulationResult`.
+    payload and compare it to its key, and check the result payload
+    round-trips bit-exactly through :class:`SimulationResult`.  On the
+    segment backend this additionally detects index mismatches (an index
+    entry whose record bytes hold a different key), index entries pointing
+    at missing or shortened segments, unindexed records, truncated tails
+    and per-segment provenance stamps that disagree with the store's.
 
-All three are exposed through ``python -m repro.cli store ...``.
+``migrate``
+    Convert a store between the two layouts, copying the raw canonical
+    payloads (so re-serialisation is byte-identical) and the
+    trace-generator provenance stamp verbatim.
+
+All of these are exposed through ``python -m repro.cli store ...``.
 """
 
 from __future__ import annotations
@@ -27,10 +41,15 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
 from repro.campaign.jobs import hash_payload_digest
-from repro.campaign.store import ResultStore
+from repro.campaign.store import (
+    PROVENANCE_FILE,
+    BaseResultStore,
+    detect_backend,
+    open_store,
+)
 from repro.core.results import SimulationResult
 
 
@@ -57,6 +76,9 @@ class StoreReport:
     entries: List[EntryStatus] = field(default_factory=list)
     orphans: List[Path] = field(default_factory=list)
     removed: List[Path] = field(default_factory=list)
+    #: Keys whose index entries were dropped by a segment-store gc (the
+    #: record bytes stay in the append-only segment; a resume re-runs them).
+    dropped_keys: List[str] = field(default_factory=list)
 
     @property
     def problems(self) -> List[EntryStatus]:
@@ -69,29 +91,32 @@ class StoreReport:
         return not self.problems and not self.orphans
 
 
-def _store_root(store: Union[ResultStore, str, Path]) -> Path:
-    if isinstance(store, ResultStore):
+def _store_root(store: Union[BaseResultStore, str, Path]) -> Path:
+    if isinstance(store, BaseResultStore):
         return store.root
     return Path(store)
 
 
-def _inspect_entry(path: Path, check_hash: bool) -> EntryStatus:
-    """Classify one ``<key>.json`` entry file."""
-    try:
-        with path.open("r", encoding="utf-8") as handle:
-            data = json.load(handle)
-    except (OSError, ValueError) as error:
-        return EntryStatus(path=path, problem=f"unreadable JSON ({error})")
-    if not isinstance(data, dict) or "job" not in data or "result" not in data:
-        return EntryStatus(path=path, problem="missing job/result sections")
-    job = data["job"] if isinstance(data["job"], dict) else {}
-    key = job.get("key")
+def _check_payload(
+    path: Path,
+    key: Optional[str],
+    data: dict,
+    expected_key: str,
+    check_hash: bool,
+) -> EntryStatus:
+    """Shared structural checks for one entry payload (both backends)."""
+    job = data["job"] if isinstance(data.get("job"), dict) else {}
     application = job.get("application")
     label = job.get("label")
-    if key != path.stem:
+    if key != expected_key:
         return EntryStatus(
             path=path, key=key, application=application, label=label,
-            problem=f"recorded key {str(key)[:16]}... does not match filename",
+            problem=f"recorded key {str(key)[:16]}... does not match {expected_key[:16]}...",
+        )
+    if "result" not in data:
+        return EntryStatus(
+            path=path, key=key, application=application, label=label,
+            problem="missing job/result sections",
         )
     try:
         restored = SimulationResult.from_dict(data["result"])
@@ -110,7 +135,7 @@ def _inspect_entry(path: Path, check_hash: bool) -> EntryStatus:
                 problem="no hash payload recorded (written by a pre-hash store)",
             )
         digest = hash_payload_digest(payload)
-        if digest != path.stem:
+        if digest != expected_key:
             return EntryStatus(
                 path=path, key=key, application=application, label=label,
                 problem=f"content hash mismatch (recomputed {digest[:16]}...)",
@@ -118,14 +143,32 @@ def _inspect_entry(path: Path, check_hash: bool) -> EntryStatus:
     return EntryStatus(path=path, key=key, application=application, label=label)
 
 
-def scan_store(
-    store: Union[ResultStore, str, Path], check_hashes: bool = False
-) -> StoreReport:
-    """Inspect every entry and stray file in a store."""
-    root = _store_root(store)
+# ---------------------------------------------------------------------------
+# JSON backend scan
+# ---------------------------------------------------------------------------
+
+def _inspect_entry(path: Path, check_hash: bool) -> EntryStatus:
+    """Classify one ``<key>.json`` entry file."""
+    try:
+        with path.open("r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as error:
+        return EntryStatus(path=path, problem=f"unreadable JSON ({error})")
+    if not isinstance(data, dict) or "job" not in data or "result" not in data:
+        return EntryStatus(path=path, problem="missing job/result sections")
+    job = data["job"] if isinstance(data["job"], dict) else {}
+    key = job.get("key")
+    if key != path.stem:
+        return EntryStatus(
+            path=path, key=key,
+            application=job.get("application"), label=job.get("label"),
+            problem=f"recorded key {str(key)[:16]}... does not match filename",
+        )
+    return _check_payload(path, key, data, path.stem, check_hash)
+
+
+def _scan_json_store(root: Path, check_hashes: bool) -> StoreReport:
     report = StoreReport()
-    if not root.is_dir():
-        return report
     for path in sorted(root.iterdir()):
         if path.is_dir():
             continue
@@ -142,30 +185,372 @@ def scan_store(
     return report
 
 
-def store_ls(store: Union[ResultStore, str, Path]) -> StoreReport:
+# ---------------------------------------------------------------------------
+# Segment backend scan
+# ---------------------------------------------------------------------------
+
+def _scan_segment_store(root: Path, check_hashes: bool) -> StoreReport:
+    """Inspect a segment store without mutating it.
+
+    Replays the on-disk index directly (not through the store class, whose
+    recovery would repair the very damage this scan must report) and walks
+    every segment for unindexed records, truncated tails, orphaned files
+    and provenance mismatches.
+    """
+    from repro.campaign.segments import (
+        INDEX_FILE,
+        SEGMENT_META_FILE,
+        SEGMENTS_DIR,
+        parse_segment_number,
+    )
+
+    report = StoreReport()
+    segments_dir = root / SEGMENTS_DIR
+    index_path = root / INDEX_FILE
+
+    store_provenance = None
+    try:
+        marker = json.loads((root / PROVENANCE_FILE).read_text(encoding="utf-8"))
+        if isinstance(marker, dict) and isinstance(
+            marker.get("trace_generator"), str
+        ):
+            store_provenance = marker["trace_generator"]
+    except (OSError, ValueError):
+        pass
+
+    # Replay the index file leniently: report damage instead of stopping.
+    entries: dict = {}
+    if index_path.exists():
+        try:
+            blob = index_path.read_bytes()
+        except OSError as error:
+            report.entries.append(
+                EntryStatus(path=index_path, problem=f"unreadable index ({error})")
+            )
+            blob = b""
+        position = 0
+        total = len(blob)
+        while position < total:
+            newline = blob.find(b"\n", position)
+            if newline == -1:
+                report.entries.append(
+                    EntryStatus(
+                        path=index_path,
+                        problem=f"truncated index tail at byte {position} "
+                        f"(reopen the store to recover)",
+                    )
+                )
+                break
+            raw = blob[position:newline]
+            if raw:
+                try:
+                    entry = json.loads(raw.decode("utf-8"))
+                    entries[entry["key"]] = (
+                        entry["segment"],
+                        int(entry["offset"]),
+                        int(entry["length"]),
+                    )
+                except (ValueError, KeyError, TypeError):
+                    report.entries.append(
+                        EntryStatus(
+                            path=index_path,
+                            problem=f"unparseable index line at byte {position}",
+                        )
+                    )
+            position = newline + 1
+
+    # Segment inventory: sizes, foreign files.
+    sizes: dict = {}
+    if segments_dir.is_dir():
+        for path in sorted(segments_dir.iterdir()):
+            if path.is_dir() or parse_segment_number(path.name) is None:
+                report.orphans.append(path)
+                continue
+            sizes[path.name] = path.stat().st_size
+
+    # Check every index entry against its record bytes.
+    referenced: set = set()
+    covered: dict = {}  # segment name -> set of byte ranges claimed
+    for key, (name, offset, length) in sorted(entries.items()):
+        seg_path = segments_dir / name
+        referenced.add(name)
+        if name not in sizes:
+            report.entries.append(
+                EntryStatus(
+                    path=seg_path, key=key,
+                    problem="index references a missing segment",
+                )
+            )
+            continue
+        if sizes[name] < offset + length + 1:
+            report.entries.append(
+                EntryStatus(
+                    path=seg_path, key=key,
+                    problem=f"index points past segment end "
+                    f"(offset {offset}+{length} > {sizes[name]}; "
+                    f"reopen the store to recover)",
+                )
+            )
+            continue
+        covered.setdefault(name, set()).add((offset, length))
+        try:
+            with seg_path.open("rb") as handle:
+                handle.seek(offset)
+                blob = handle.read(length)
+            record = json.loads(blob.decode("utf-8"))
+        except (OSError, ValueError) as error:
+            report.entries.append(
+                EntryStatus(
+                    path=seg_path, key=key,
+                    problem=f"unreadable record at offset {offset} ({error})",
+                )
+            )
+            continue
+        if not isinstance(record, dict):
+            report.entries.append(
+                EntryStatus(
+                    path=seg_path, key=key,
+                    problem=f"index mismatch: no record object at offset {offset}",
+                )
+            )
+            continue
+        recorded_key = record.get("key")
+        if recorded_key != key:
+            report.entries.append(
+                EntryStatus(
+                    path=seg_path, key=key,
+                    application=(record.get("job") or {}).get("application"),
+                    label=(record.get("job") or {}).get("label"),
+                    problem=f"index mismatch: record holds key "
+                    f"{str(recorded_key)[:16]}...",
+                )
+            )
+            continue
+        report.entries.append(
+            _check_payload(seg_path, key, record, key, check_hashes)
+        )
+
+    # Walk every segment for header sanity, unindexed records and tails.
+    for name, size in sizes.items():
+        seg_path = segments_dir / name
+        claimed = covered.get(name, set())
+        try:
+            blob = seg_path.read_bytes()
+        except OSError as error:
+            report.entries.append(
+                EntryStatus(path=seg_path, problem=f"unreadable segment ({error})")
+            )
+            continue
+        position = 0
+        saw_header = False
+        has_records = bool(claimed)
+        while position < len(blob):
+            newline = blob.find(b"\n", position)
+            if newline == -1:
+                report.entries.append(
+                    EntryStatus(
+                        path=seg_path,
+                        problem=f"truncated record tail at byte {position} "
+                        f"(reopen the store to recover)",
+                    )
+                )
+                break
+            raw = blob[position:newline]
+            if raw:
+                try:
+                    record = json.loads(raw.decode("utf-8"))
+                except ValueError:
+                    report.entries.append(
+                        EntryStatus(
+                            path=seg_path,
+                            problem=f"unparseable record at byte {position}",
+                        )
+                    )
+                    break
+                if position == 0 and isinstance(record, dict) and (
+                    "store_format" in record
+                ):
+                    saw_header = True
+                    stamped = record.get("trace_generator")
+                    if (
+                        store_provenance is not None
+                        and isinstance(stamped, str)
+                        and stamped != store_provenance
+                    ):
+                        report.entries.append(
+                            EntryStatus(
+                                path=seg_path,
+                                problem=f"segment provenance {stamped!r} "
+                                f"disagrees with store marker "
+                                f"{store_provenance!r}",
+                            )
+                        )
+                elif isinstance(record, dict) and isinstance(
+                    record.get("key"), str
+                ):
+                    has_records = True
+                    if (position, len(raw)) not in claimed:
+                        report.entries.append(
+                            EntryStatus(
+                                path=seg_path, key=record["key"],
+                                problem=f"unindexed record at byte {position} "
+                                f"(reopen the store to reindex)",
+                            )
+                        )
+                else:
+                    report.entries.append(
+                        EntryStatus(
+                            path=seg_path,
+                            problem=f"foreign line at byte {position}",
+                        )
+                    )
+            position = newline + 1
+        if not saw_header:
+            report.entries.append(
+                EntryStatus(path=seg_path, problem="segment has no header line")
+            )
+        if not has_records and name not in referenced:
+            # Header-only (or unreadable) segment nothing points at: an
+            # orphan a gc may delete.
+            report.orphans.append(seg_path)
+
+    # Stray files in the store root (anything but metadata and the index).
+    for path in sorted(root.iterdir()):
+        if path.is_dir() or path.name.startswith("_"):
+            continue
+        if path.name == INDEX_FILE:
+            continue
+        report.orphans.append(path)
+    # The meta file is metadata, never an orphan (covered by the "_" rule:
+    # SEGMENT_META_FILE and PROVENANCE_FILE are underscore-prefixed).
+    assert SEGMENT_META_FILE.startswith("_")
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Public operations
+# ---------------------------------------------------------------------------
+
+def scan_store(
+    store: Union[BaseResultStore, str, Path], check_hashes: bool = False
+) -> StoreReport:
+    """Inspect every entry and stray file in a store (either backend)."""
+    root = _store_root(store)
+    if not root.is_dir():
+        return StoreReport()
+    if detect_backend(root) == "segment":
+        return _scan_segment_store(root, check_hashes)
+    return _scan_json_store(root, check_hashes)
+
+
+def store_ls(store: Union[BaseResultStore, str, Path]) -> StoreReport:
     """List the entries of a store (no hash re-check)."""
     return scan_store(store, check_hashes=False)
 
 
-def store_verify(store: Union[ResultStore, str, Path]) -> StoreReport:
+def store_verify(store: Union[BaseResultStore, str, Path]) -> StoreReport:
     """Fully verify a store: structure, round-trip, and content hashes."""
     return scan_store(store, check_hashes=True)
 
 
 def store_gc(
-    store: Union[ResultStore, str, Path], dry_run: bool = False
+    store: Union[BaseResultStore, str, Path], dry_run: bool = False
 ) -> StoreReport:
-    """Drop orphan temp files and corrupt entries from a store.
+    """Repair a store: drop orphans and unrecoverable entries.
 
-    Entries failing the *structural* checks (unreadable, wrong sections,
-    key/filename mismatch, non-round-tripping result) are removed; entries
-    that merely predate hash-payload recording are kept, since their results
-    are still loadable.  Returns the report with ``removed`` filled in.
+    JSON backend: entries failing the *structural* checks (unreadable,
+    wrong sections, key/filename mismatch, non-round-tripping result) are
+    removed along with temp-file orphans; entries that merely predate
+    hash-payload recording are kept, since their results are still
+    loadable.
+
+    Segment backend: crash damage (truncated tails, unindexed records) is
+    repaired by the store's own recovery, index entries whose records are
+    corrupt or mismatched are dropped from the index (``dropped_keys``;
+    the append-only segment bytes are left in place), and orphaned files
+    are deleted.
+
+    Returns the report with ``removed``/``dropped_keys`` filled in.
     """
-    report = scan_store(store, check_hashes=False)
+    root = _store_root(store)
+    if not root.is_dir():
+        return StoreReport()
+    if detect_backend(root) == "segment":
+        return _gc_segment_store(root, dry_run)
+    report = scan_store(root, check_hashes=False)
     doomed = list(report.orphans) + [entry.path for entry in report.problems]
     for path in doomed:
         if not dry_run:
             path.unlink(missing_ok=True)
         report.removed.append(path)
     return report
+
+
+def _gc_segment_store(root: Path, dry_run: bool) -> StoreReport:
+    from repro.campaign.segments import SegmentResultStore
+
+    report = scan_store(root, check_hashes=False)
+    if dry_run:
+        report.removed.extend(report.orphans)
+        return report
+    # 1. Let recovery repair crash damage (reindex unindexed records,
+    #    truncate partial tails, rewrite a damaged index); loading the
+    #    index is what triggers it.
+    segment_store = SegmentResultStore(root)
+    len(segment_store)
+    # 2. Drop index entries whose records are structurally bad.
+    rescanned = scan_store(root, check_hashes=False)
+    bad_keys = {entry.key for entry in rescanned.problems if entry.key}
+    if bad_keys:
+        for key in sorted(bad_keys):
+            report.dropped_keys.append(key)
+        segment_store.drop_keys(bad_keys)
+    segment_store.close()
+    # 3. Delete orphaned files.
+    for path in rescanned.orphans:
+        path.unlink(missing_ok=True)
+        report.removed.append(path)
+    return report
+
+
+def migrate_store(
+    source: Union[BaseResultStore, str, Path],
+    destination: Union[str, Path],
+    backend: str,
+) -> Tuple[int, int]:
+    """Copy every entry of a store into a new store with another layout.
+
+    The raw canonical payloads are copied (not re-derived), so the
+    destination's records serialise byte-identically, and the source's
+    trace-generator provenance stamp is copied verbatim -- a store can be
+    migrated on any machine without reattributing its results.
+
+    Returns ``(entries_copied, entries_skipped)`` (skipped = unreadable in
+    the source; run ``store gc`` there first if this is non-zero).
+    """
+    src = (
+        source
+        if isinstance(source, BaseResultStore)
+        else open_store(source, backend="auto")
+    )
+    destination = Path(destination)
+    if destination.exists() and any(destination.iterdir()):
+        raise ValueError(
+            f"destination {destination} is not empty; migrate into a fresh "
+            f"directory"
+        )
+    if destination.resolve() == src.root.resolve():
+        raise ValueError("cannot migrate a store onto itself")
+    dst = open_store(destination, backend=backend)
+    provenance = src.recorded_provenance()
+    if provenance is not None:
+        dst.stamp_provenance(provenance)
+    copied = 0
+    total = len(src)
+    for key, payload in src.iter_records():
+        dst.put_record(key, payload)
+        copied += 1
+    dst.flush()
+    dst.close()
+    src.close()
+    return copied, total - copied

@@ -1,22 +1,34 @@
-"""Persistent JSON result store keyed by job hash.
+"""Persistent result stores keyed by job hash.
 
-Each computed :class:`~repro.core.results.SimulationResult` is written to
-``<root>/<job-key>.json`` together with a small metadata header describing
-the job.  Because the key is a content hash of the job (workload recipe +
-full configuration), the store doubles as a cache: re-running a campaign
-with ``resume=True`` skips every point whose file already exists, and
-extending the grid (a new retention time, a new application) only simulates
-the new points.
+Two interchangeable backends persist computed
+:class:`~repro.core.results.SimulationResult` objects under content-hash
+keys, behind one interface (:class:`BaseResultStore`):
+
+* :class:`ResultStore` -- the legacy one-JSON-file-per-result layout
+  (``<root>/<job-key>.json``).  Simple, greppable, and every entry is
+  individually atomic; but a 100k-point campaign means 100k files and a
+  directory scan per resume.
+* :class:`~repro.campaign.segments.SegmentResultStore` -- an indexed,
+  append-only segment store: results append to size-capped JSONL segments
+  through a single writer, with a compact on-disk index keyed by job hash.
+  Opened via :func:`open_store` with ``backend="segment"`` (or ``"auto"``,
+  which detects the layout on disk).
+
+Because keys are content hashes of the job (workload recipe + full
+configuration), either store doubles as a cache: re-running a campaign with
+``resume=True`` skips every point already persisted, and extending the grid
+(a new retention time, a new application) only simulates the new points.
 """
 
 from __future__ import annotations
 
+import bisect
 import contextlib
 import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Iterator, Optional, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.campaign.jobs import Job
 from repro.core.results import SimulationResult
@@ -40,38 +52,61 @@ class StoreProvenanceError(RuntimeError):
     """
 
 
-class ResultStore:
-    """Directory of per-job JSON result files.
+def atomic_write_text(path: Path, text: str, prefix: str = ".write-") -> None:
+    """Write a file atomically (temp file + ``os.replace``) in its directory.
 
-    Writes are atomic (write to a temp file, then ``os.replace``) so a
-    campaign killed mid-write never leaves a truncated entry that would
-    poison later resumes; unreadable entries are treated as missing.
-
-    The first write stamps the store with this environment's
-    trace-generator provenance (numpy vs scalar fallback); later writes
-    from the other environment raise :class:`StoreProvenanceError`.
+    A crash mid-write never leaves a truncated file under the final name.
     """
+    fd, tmp_name = tempfile.mkstemp(prefix=prefix, suffix=".tmp", dir=path.parent)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_name)
+        raise
+
+
+def entry_payload(job: Job, result: SimulationResult) -> dict:
+    """The canonical persisted payload of one (job, result) pair.
+
+    Shared by both backends so a record migrated between them is
+    byte-identical after re-serialisation with the destination's settings.
+    """
+    return {
+        "job": {
+            "key": job.key(),
+            "application": job.application,
+            "label": job.label,
+            "length_scale": job.workload.length_scale,
+            "seed": job.workload.seed,
+        },
+        # The canonical structure the key is a SHA-256 of; lets
+        # ``store verify`` re-check the content hash of an entry
+        # without the original Job objects.
+        "hash_payload": job.hash_payload(),
+        "result": result.to_dict(),
+    }
+
+
+class BaseResultStore:
+    """Root directory handling + trace-generator provenance, backend-agnostic.
+
+    Subclasses implement ``keys`` / ``__contains__`` / ``__len__`` / ``get``
+    / ``put_record`` / ``iter_records``; :meth:`put` is shared (it builds
+    the canonical payload and checks provenance).
+    """
+
+    #: Short name used by ``open_store``/CLI (subclasses override).
+    backend_name = "base"
 
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._provenance_checked = False
 
-    def path_for(self, key: str) -> Path:
-        """Filesystem path of one job's result file."""
-        return self.root / f"{key}.json"
-
-    def __contains__(self, key: str) -> bool:
-        return self.path_for(key).exists()
-
-    def __len__(self) -> int:
-        return sum(1 for _ in self.keys())
-
-    def keys(self) -> Iterator[str]:
-        """Job keys currently persisted in the store."""
-        for path in sorted(self.root.glob("*.json")):
-            if not path.name.startswith(("_", ".")):
-                yield path.stem
+    # -- provenance --------------------------------------------------------------
 
     def check_provenance(self) -> None:
         """Stamp or verify the store's trace-generator provenance.
@@ -116,22 +151,12 @@ class ResultStore:
         if stamped is None:
             # Atomic like every other store write: a crash mid-stamp must
             # not leave a truncated marker that poisons the next check.
-            fd, tmp_name = tempfile.mkstemp(
-                prefix=".provenance-", suffix=".tmp", dir=self.root
+            atomic_write_text(
+                marker,
+                json.dumps({"trace_generator": TRACE_GENERATOR_PROVENANCE}, indent=2)
+                + "\n",
+                prefix=".provenance-",
             )
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(
-                        {"trace_generator": TRACE_GENERATOR_PROVENANCE},
-                        handle,
-                        indent=2,
-                    )
-                    handle.write("\n")
-                os.replace(tmp_name, marker)
-            except BaseException:
-                with contextlib.suppress(OSError):
-                    os.unlink(tmp_name)
-                raise
         elif stamped != TRACE_GENERATOR_PROVENANCE:
             raise StoreProvenanceError(
                 f"store {self.root} holds results generated with the "
@@ -141,6 +166,139 @@ class ResultStore:
                 f"use a separate store per environment"
             )
         self._provenance_checked = True
+
+    def recorded_provenance(self) -> Optional[str]:
+        """The trace-generator the store is stamped with, if readable."""
+        try:
+            recorded = json.loads(
+                (self.root / PROVENANCE_FILE).read_text(encoding="utf-8")
+            )
+        except (OSError, ValueError):
+            return None
+        if isinstance(recorded, dict):
+            value = recorded.get("trace_generator")
+            return value if isinstance(value, str) else None
+        return None
+
+    def stamp_provenance(self, trace_generator: str) -> None:
+        """Stamp the store with an explicit provenance (used by migration).
+
+        Migration copies the *source* store's stamp verbatim, so a store can
+        be converted between layouts in either environment without its
+        entries being reattributed to the converting machine.
+        """
+        atomic_write_text(
+            self.root / PROVENANCE_FILE,
+            json.dumps({"trace_generator": trace_generator}, indent=2) + "\n",
+            prefix=".provenance-",
+        )
+        self._provenance_checked = False
+
+    # -- shared write path -------------------------------------------------------
+
+    def put(self, job: Job, result: SimulationResult) -> Path:
+        """Persist one job's result; returns the file written.
+
+        Raises:
+            StoreProvenanceError: when the store was stamped by an
+                environment with the other trace generator.
+        """
+        self.check_provenance()
+        return self.put_record(job.key(), entry_payload(job, result))
+
+    # -- backend interface -------------------------------------------------------
+
+    def keys(self) -> Iterator[str]:
+        """Job keys currently persisted in the store."""
+        raise NotImplementedError
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """Load one result, or None when absent or unreadable."""
+        raise NotImplementedError
+
+    def put_record(self, key: str, payload: dict) -> Path:
+        """Persist one raw entry payload (no provenance check; see put)."""
+        raise NotImplementedError
+
+    def iter_records(self) -> Iterator[Tuple[str, dict]]:
+        """Yield ``(key, payload)`` for every readable entry (for migration)."""
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Push buffered writes to disk (no-op for per-file backends)."""
+
+    def close(self) -> None:
+        """Release file handles (no-op for per-file backends)."""
+
+    def __enter__(self) -> "BaseResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __contains__(self, key: str) -> bool:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class ResultStore(BaseResultStore):
+    """Directory of per-job JSON result files (the legacy ``json`` backend).
+
+    Writes are atomic (write to a temp file, then ``os.replace``) so a
+    campaign killed mid-write never leaves a truncated entry that would
+    poison later resumes; unreadable entries are treated as missing.
+
+    The key index is scanned from the directory once and then cached:
+    ``keys()``/``len()`` no longer pay a full directory scan per call, and
+    ``put`` updates the cache in place.  :meth:`refresh_index` drops the
+    cache when another process may have written the directory.
+
+    The first write stamps the store with this environment's
+    trace-generator provenance (numpy vs scalar fallback); later writes
+    from the other environment raise :class:`StoreProvenanceError`.
+    """
+
+    backend_name = "json"
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        super().__init__(root)
+        self._key_list: Optional[List[str]] = None
+        self._key_set: Optional[set] = None
+
+    def path_for(self, key: str) -> Path:
+        """Filesystem path of one job's result file."""
+        return self.root / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        # Deliberately checks the filesystem, not the cached index: another
+        # campaign sharing the store may have just written the entry.
+        return self.path_for(key).exists()
+
+    def __len__(self) -> int:
+        self._ensure_index()
+        return len(self._key_list)
+
+    def keys(self) -> Iterator[str]:
+        """Job keys currently persisted in the store (sorted)."""
+        self._ensure_index()
+        return iter(list(self._key_list))
+
+    def refresh_index(self) -> None:
+        """Drop the cached key index (rescan on next ``keys()``/``len()``)."""
+        self._key_list = None
+        self._key_set = None
+
+    def _ensure_index(self) -> None:
+        if self._key_list is not None:
+            return
+        self._key_list = sorted(
+            path.stem
+            for path in self.root.glob("*.json")
+            if not path.name.startswith(("_", "."))
+        )
+        self._key_set = set(self._key_list)
 
     def get(self, key: str) -> Optional[SimulationResult]:
         """Load one result, or None when absent or unreadable."""
@@ -152,30 +310,9 @@ class ResultStore:
         except (OSError, ValueError, KeyError, TypeError):
             return None
 
-    def put(self, job: Job, result: SimulationResult) -> Path:
-        """Persist one job's result; returns the file written.
-
-        Raises:
-            StoreProvenanceError: when the store was stamped by an
-                environment with the other trace generator.
-        """
-        self.check_provenance()
-        key = job.key()
+    def put_record(self, key: str, payload: dict) -> Path:
+        """Write one entry file atomically and update the cached index."""
         path = self.path_for(key)
-        payload = {
-            "job": {
-                "key": key,
-                "application": job.application,
-                "label": job.label,
-                "length_scale": job.workload.length_scale,
-                "seed": job.workload.seed,
-            },
-            # The canonical structure the key is a SHA-256 of; lets
-            # ``store verify`` re-check the content hash of an entry
-            # without the original Job objects.
-            "hash_payload": job.hash_payload(),
-            "result": result.to_dict(),
-        }
         # Unique temp name: concurrent campaigns sharing a store may compute
         # the same job, and a fixed tmp path would make them race on it.
         fd, tmp_name = tempfile.mkstemp(
@@ -189,4 +326,71 @@ class ResultStore:
             with contextlib.suppress(OSError):
                 os.unlink(tmp_name)
             raise
+        if self._key_list is not None and key not in self._key_set:
+            bisect.insort(self._key_list, key)
+            self._key_set.add(key)
         return path
+
+    def iter_records(self) -> Iterator[Tuple[str, dict]]:
+        """Yield ``(key, payload)`` per entry, skipping unreadable files."""
+        for key in self.keys():
+            try:
+                with self.path_for(key).open("r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                continue
+            if isinstance(payload, dict):
+                yield key, payload
+
+
+def detect_backend(root: Union[str, Path]) -> Optional[str]:
+    """Which backend's layout a directory holds (None when undecidable).
+
+    A segment store is recognisable by its meta file or its ``segments/``
+    directory; a directory containing ``<hex>.json`` entries (or nothing
+    but store metadata) is the legacy per-file layout.
+    """
+    root = Path(root)
+    from repro.campaign.segments import SEGMENT_META_FILE, SEGMENTS_DIR
+
+    if (root / SEGMENT_META_FILE).exists() or (root / SEGMENTS_DIR).is_dir():
+        return "segment"
+    if root.is_dir():
+        return "json"
+    return None
+
+
+def open_store(
+    root: Union[str, Path], backend: str = "auto", **kwargs
+) -> BaseResultStore:
+    """Open (or create) a result store with the requested backend.
+
+    ``backend="auto"`` detects the layout of an existing directory and
+    defaults to ``json`` for a new one (the legacy behaviour, so existing
+    scripts keep producing the layout they always did).  Passing an explicit
+    backend against a directory holding the *other* layout is an error --
+    silently writing a second layout into one directory would split the
+    store in two.
+    """
+    root = Path(root)
+    detected = detect_backend(root) if root.exists() else None
+    if backend == "auto":
+        backend = detected if detected is not None else "json"
+    elif detected is not None and detected != backend:
+        # An empty directory detects as "json" but holds nothing yet, so
+        # any backend may claim it.
+        if detected == "json" and not any(root.glob("*.json")):
+            pass
+        else:
+            raise ValueError(
+                f"store {root} holds a {detected!r}-layout store; refusing to "
+                f"open it with backend={backend!r} (use 'store migrate' to "
+                f"convert it)"
+            )
+    if backend == "json":
+        return ResultStore(root, **kwargs)
+    if backend == "segment":
+        from repro.campaign.segments import SegmentResultStore
+
+        return SegmentResultStore(root, **kwargs)
+    raise ValueError(f"unknown store backend {backend!r} (json, segment, auto)")

@@ -20,10 +20,14 @@ Three subcommands cover the common workflows without writing any Python:
     present in the store.
 
 ``store``
-    Maintain a campaign result store: ``store ls DIR`` lists its entries,
-    ``store gc DIR`` drops temp-file orphans and corrupt entries
-    (``--dry-run`` to preview), and ``store verify DIR`` re-checks every
-    entry's content hash against its filename.
+    Maintain a campaign result store (either backend -- the per-file JSON
+    layout or the indexed segment layout, auto-detected): ``store ls DIR``
+    lists its entries, ``store gc DIR`` drops stray files and repairs or
+    retires corrupt entries (``--dry-run`` to preview), ``store verify
+    DIR`` re-checks every entry's content hash, payload round-trip, index
+    consistency and crash damage, and ``store migrate SRC DST --to
+    {json,segment}`` converts a store between the two layouts
+    byte-identically.
 
 Examples::
 
@@ -33,8 +37,9 @@ Examples::
     python -m repro.cli sweep --applications fft,barnes,blackscholes \
         --length-scale 0.5 --report sweep.md --json sweep.json
     python -m repro.cli sweep --applications all --jobs 4 \
-        --store results/ --resume
+        --store results/ --store-backend segment --resume
     python -m repro.cli store verify results/
+    python -m repro.cli store migrate results/ results-seg/ --to segment
 """
 
 from __future__ import annotations
@@ -145,6 +150,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory of the per-point result store",
     )
     sweep.add_argument(
+        "--store-backend", choices=("auto", "json", "segment"), default="auto",
+        help="on-disk layout of the result store: one file per result "
+             "(json), indexed append-only segments (segment, the right fit "
+             "at 10k+ points), or detect from the directory (auto)",
+    )
+    sweep.add_argument(
         "--resume", action="store_true",
         help="skip points already present in the result store (needs --store)",
     )
@@ -154,14 +165,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     store = commands.add_parser(
-        "store", help="maintain a campaign result store"
+        "store", help="maintain a campaign result store (either backend)"
     )
     store.add_argument(
-        "action", choices=("ls", "gc", "verify"),
-        help="ls: list entries; gc: drop orphans and corrupt entries; "
-             "verify: re-check content hashes",
+        "action", choices=("ls", "gc", "verify", "migrate"),
+        help="ls: list entries; gc: drop orphans and repair/retire corrupt "
+             "entries; verify: re-check content hashes and index "
+             "consistency; migrate: convert to the other backend",
     )
     store.add_argument("root", type=Path, help="result store directory")
+    store.add_argument(
+        "destination", type=Path, nargs="?", default=None,
+        help="for migrate: directory of the new store (must not exist or "
+             "be empty)",
+    )
+    store.add_argument(
+        "--to", choices=("json", "segment"), default="segment",
+        help="for migrate: backend of the destination store",
+    )
     store.add_argument(
         "--dry-run", action="store_true",
         help="for gc: report what would be removed without deleting",
@@ -230,6 +251,7 @@ def _run_sweep(args, out) -> int:
         store=args.store,
         resume=args.resume,
         progress=lambda message: print(f"  {message}", file=out),
+        store_backend=args.store_backend,
     )
     print(f"campaign: {stats.summary()}", file=out)
     for figure_fn in (
@@ -260,10 +282,41 @@ def _run_sweep(args, out) -> int:
 
 
 def _run_store(args, out) -> int:
-    from repro.campaign.maintenance import store_gc, store_ls, store_verify
+    from repro.campaign.maintenance import (
+        migrate_store,
+        store_gc,
+        store_ls,
+        store_verify,
+    )
 
     if not args.root.is_dir():
         print(f"error: {args.root} is not a directory", file=sys.stderr)
+        return 2
+    if args.action == "migrate":
+        if args.destination is None:
+            print("error: store migrate needs a destination", file=sys.stderr)
+            return 2
+        try:
+            copied, skipped = migrate_store(args.root, args.destination, args.to)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(
+            f"migrated {copied} entries to {args.destination} ({args.to})",
+            file=out,
+        )
+        if skipped:
+            print(
+                f"warning: {skipped} unreadable entries skipped; run "
+                f"'store gc {args.root}' and retry",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    if args.destination is not None:
+        print(
+            f"error: store {args.action} takes one directory", file=sys.stderr
+        )
         return 2
     if args.action == "ls":
         report = store_ls(args.root)
@@ -285,6 +338,8 @@ def _run_store(args, out) -> int:
         verb = "would remove" if args.dry_run else "removed"
         for path in report.removed:
             print(f"{verb} {path.name}", file=out)
+        for key in report.dropped_keys:
+            print(f"dropped index entry {key[:16]}...", file=out)
         kept = len(report.entries) - len(report.problems)
         print(f"{verb} {len(report.removed)} files, kept {kept} entries", file=out)
         return 0

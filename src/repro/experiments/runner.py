@@ -21,8 +21,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from repro.campaign.engine import make_executor, run_campaign
+from repro.campaign.engine import make_executor, run_campaign, stream_campaign
 from repro.campaign.jobs import canonical_value
+from repro.campaign.view import StoreSweep
 from repro.config.parameters import ArchitectureConfig, TimingPolicyKind
 from repro.config.presets import paper_data_policies, scaled_architecture
 from repro.core.classes import APPLICATION_CLASSES
@@ -121,7 +122,15 @@ class ExperimentRunner:
     whose recorded scale matches the requested one, the sweep is reloaded
     from disk instead of re-simulated; otherwise it is executed through the
     campaign engine (``jobs`` worker processes, optionally persisting and
-    resuming per-point results via ``store``/``resume``).
+    resuming per-point results via ``store``/``resume``, with
+    ``store_backend`` selecting the on-disk layout).
+
+    With ``streaming=True`` (requires ``store``) the campaign is driven as
+    a stream -- each result is committed to the store the moment it
+    completes and dropped from memory -- and :meth:`sweep` returns a
+    :class:`~repro.campaign.view.StoreSweep` that the figure/table layer
+    aggregates directly from the store.  No whole-sweep summary is built or
+    cached, so memory stays bounded at 100k+ grid points.
     """
 
     def __init__(
@@ -132,6 +141,8 @@ class ExperimentRunner:
         jobs: int = 1,
         store: Optional[Path] = None,
         resume: bool = False,
+        store_backend: str = "auto",
+        streaming: bool = False,
     ) -> None:
         self.scale = scale if scale is not None else ExperimentScale.quick()
         self.architecture = (
@@ -143,6 +154,13 @@ class ExperimentRunner:
         # actually executes (not when it is reloaded from cache).
         self.store = store
         self.resume = resume
+        self.store_backend = store_backend
+        if streaming and store is None:
+            raise ValueError(
+                "streaming aggregation needs a result store to aggregate from; "
+                "pass store= (the segment backend is the right fit at scale)"
+            )
+        self.streaming = streaming
         self.reloaded_from_cache = False
         self._sweep: Optional[SweepResult] = None
 
@@ -156,6 +174,9 @@ class ExperimentRunner:
     def sweep(self, progress=None) -> SweepResult:
         """Run (or reload) the sweep for this experiment."""
         if self._sweep is None:
+            if self.streaming:
+                self._sweep = self._stream_sweep(progress)
+                return self._sweep
             reloaded = self._reload_summary()
             if reloaded is not None:
                 self.reloaded_from_cache = True
@@ -169,10 +190,35 @@ class ExperimentRunner:
                 store=self.store,
                 resume=self.resume,
                 progress=progress,
+                store_backend=self.store_backend,
             )
             if self.cache_path is not None:
                 self.save_summary(self.cache_path)
         return self._sweep
+
+    def _stream_sweep(self, progress=None) -> StoreSweep:
+        """Drive the campaign as a stream; aggregate straight from the store.
+
+        Results flow executor -> store commit -> discarded; the returned
+        :class:`StoreSweep` reloads whichever results a figure touches, a
+        few at a time.  ``cache_path`` is ignored -- the store *is* the
+        persistent artefact, and a whole-sweep summary is exactly what this
+        mode exists to avoid.
+        """
+        points = self.scale.policy_points()
+        stream = stream_campaign(
+            self.workload_requests(),
+            points=points,
+            architecture=self.architecture,
+            executor=make_executor(self.jobs),
+            store=self.store,
+            resume=self.resume,
+            progress=progress,
+            store_backend=self.store_backend,
+        )
+        for _job, _result in stream:
+            pass  # commit side effects only; nothing retained
+        return StoreSweep(stream.store, stream.jobs, points)
 
     def _scale_meta(self) -> Dict[str, object]:
         """The experiment fingerprint stored alongside a cached summary.
