@@ -14,6 +14,7 @@ no ``results`` dict holding every point.
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Mapping
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.campaign.jobs import Job
@@ -25,13 +26,15 @@ from repro.core.sweep import PolicyPoint, SweepResult
 DEFAULT_RESULT_CACHE = 64
 
 
-class _LazyBaselines:
+class _LazyBaselines(Mapping):
     """Mapping facade over the per-application baseline keys.
 
-    Supports the operations the figure/report layer actually performs on
-    ``sweep.baselines`` (membership, iteration, length, lookup) while
-    loading results through the owning :class:`StoreSweep` so they land in
-    its pinned baseline cache.
+    A full :class:`collections.abc.Mapping`, so everything a plain
+    ``baselines`` dict supports (``values()``, ``get()``, ``items()``,
+    equality, ...) works here too.  Membership, iteration and ``keys()``
+    are overridden to consult only the key index -- they must not require
+    loading any result -- while value access goes through the owning
+    :class:`StoreSweep` so results land in its pinned baseline cache.
     """
 
     def __init__(self, view: "StoreSweep") -> None:
@@ -51,10 +54,6 @@ class _LazyBaselines:
 
     def keys(self):
         return self._view._baseline_keys.keys()
-
-    def items(self) -> Iterator[Tuple[str, SimulationResult]]:
-        for name in self._view._baseline_keys:
-            yield name, self._view.baseline(name)
 
 
 class StoreSweep(SweepResult):
@@ -134,9 +133,16 @@ class StoreSweep(SweepResult):
         return result
 
     def missing_keys(self) -> List[str]:
-        """Keys of cells the store does not hold (empty when complete)."""
+        """Keys of cells the store does not hold (empty when complete).
+
+        Takes one ``store.keys()`` snapshot and diffs against it rather
+        than probing ``key in store`` per cell: ``__contains__`` hits the
+        filesystem on every call, which made completeness checks O(N)
+        stat calls on large campaigns.
+        """
+        present = set(self.store.keys())
         wanted = list(self._baseline_keys.values()) + list(self._point_keys.values())
-        return [key for key in wanted if key not in self.store]
+        return [key for key in wanted if key not in present]
 
     # -- materialisation ---------------------------------------------------------
 

@@ -19,6 +19,13 @@ Three subcommands cover the common workflows without writing any Python:
     a content-addressed result store, and ``--resume`` skips points already
     present in the store.
 
+``validate``
+    Re-derive the analytic counter/energy invariants for every run of a
+    persisted campaign and scan the grid for anomalous perf patterns
+    (e.g. refresh energy that fails to shrink with longer retention).
+    Exits non-zero on any violation or anomaly, so CI can gate on it;
+    ``--json`` writes the machine-readable artifact.
+
 ``store``
     Maintain a campaign result store (either backend -- the per-file JSON
     layout or the indexed segment layout, auto-detected): ``store ls DIR``
@@ -40,6 +47,9 @@ Examples::
         --store results/ --store-backend segment --resume
     python -m repro.cli store verify results/
     python -m repro.cli store migrate results/ results-seg/ --to segment
+    python -m repro.cli validate --store results/ \
+        --applications fft,blackscholes --retentions 50 \
+        --length-scale 0.05 --json validation.json
 """
 
 from __future__ import annotations
@@ -164,6 +174,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="base RNG seed for the synthetic workload traces",
     )
 
+    validate = commands.add_parser(
+        "validate",
+        help="check analytic invariants and perf patterns of a stored campaign",
+    )
+    validate.add_argument(
+        "--store", type=Path, required=True,
+        help="directory of the campaign's result store",
+    )
+    validate.add_argument(
+        "--store-backend", choices=("auto", "json", "segment"), default="auto",
+    )
+    validate.add_argument(
+        "--applications", type=parse_applications,
+        default=["fft", "barnes", "blackscholes"],
+        help="applications the campaign was run with (defines the grid)",
+    )
+    validate.add_argument(
+        "--length-scale", type=float, default=0.5,
+        help="workload length scale the campaign was run with",
+    )
+    validate.add_argument(
+        "--retentions", default="50,100,200",
+        help="comma-separated retention times in microseconds",
+    )
+    validate.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED,
+        help="base RNG seed the campaign was run with",
+    )
+    validate.add_argument(
+        "--json", type=Path, default=None,
+        help="write the machine-readable validation artifact",
+    )
+    validate.add_argument(
+        "--rtol", type=float, default=None,
+        help="relative slack for the anomaly scan's monotone comparisons",
+    )
+    validate.add_argument(
+        "--strict-missing", action="store_true",
+        help="also fail when grid cells are absent from the store",
+    )
+
     store = commands.add_parser(
         "store", help="maintain a campaign result store (either backend)"
     )
@@ -281,6 +332,44 @@ def _run_sweep(args, out) -> int:
     return 0
 
 
+def _run_validate(args, out) -> int:
+    from repro.campaign.jobs import enumerate_jobs
+    from repro.campaign.store import open_store
+    from repro.campaign.view import StoreSweep
+    from repro.validate.anomaly import DEFAULT_RTOL
+    from repro.validate.report import as_json_dict, render_markdown, validate_sweep
+
+    if not args.store.is_dir():
+        print(f"error: {args.store} is not a directory", file=sys.stderr)
+        return 2
+    architecture = scaled_architecture()
+    retentions = tuple(
+        float(value) for value in str(args.retentions).split(",") if value.strip()
+    )
+    points = default_policy_points(retention_times_us=retentions)
+    requests = [
+        WorkloadRequest(name, length_scale=args.length_scale, seed=args.seed)
+        for name in args.applications
+    ]
+    jobs = enumerate_jobs(requests, points, architecture)
+    store = open_store(args.store, backend=args.store_backend)
+    sweep = StoreSweep(store, jobs, points)
+    rtol = args.rtol if args.rtol is not None else DEFAULT_RTOL
+    validation = validate_sweep(sweep, architecture=architecture, rtol=rtol)
+    print(render_markdown(validation), file=out)
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(as_json_dict(validation), indent=2, sort_keys=True)
+        )
+        print(f"wrote {args.json}", file=out)
+    if not validation.ok:
+        return 1
+    if args.strict_missing and validation.anomalies.missing:
+        return 1
+    return 0
+
+
 def _run_store(args, out) -> int:
     from repro.campaign.maintenance import (
         migrate_store,
@@ -368,6 +457,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _run_simulate(args, out)
     if args.command == "sweep":
         return _run_sweep(args, out)
+    if args.command == "validate":
+        return _run_validate(args, out)
     if args.command == "store":
         return _run_store(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

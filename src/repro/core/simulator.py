@@ -84,6 +84,12 @@ class ReplayStats:
             (the dirty-core registry satellite).
         resolved_hits / resolved_misses: block validations served from /
             missed by the per-core resolved-block cache on the run path.
+        wheel_drains / wheel_skips / wheel_scans: refresh-wheel activity of
+            the run (queue events fired, probe-skipped scans, entries
+            examined).  All zero for SRAM runs, which build no wheel.
+            ``wheel_skips <= wheel_scans`` and
+            ``wheel_drains <= events_popped`` are invariants checked by
+            :func:`repro.validate.invariants.check_replay_stats`.
     """
 
     events_popped: int
@@ -96,6 +102,9 @@ class ReplayStats:
     empty_landings_skipped: int = 0
     resolved_hits: int = 0
     resolved_misses: int = 0
+    wheel_drains: int = 0
+    wheel_skips: int = 0
+    wheel_scans: int = 0
 
     @property
     def resolved_hit_rate(self) -> float:
@@ -192,6 +201,7 @@ class RefrintSimulator:
             empty_landings_skipped = self._run_ahead(
                 events, cores, finished, hierarchy.protocol
             )
+        wheel = hierarchy.refresh_wheel
         self.last_replay_stats = ReplayStats(
             events_popped=events.popped_events,
             references=sum(core.stats.references_completed for core in cores),
@@ -203,6 +213,9 @@ class RefrintSimulator:
             empty_landings_skipped=empty_landings_skipped,
             resolved_hits=sum(core._res_hits for core in cores),
             resolved_misses=sum(core._res_misses for core in cores),
+            wheel_drains=wheel.drains if wheel is not None else 0,
+            wheel_skips=wheel.skips if wheel is not None else 0,
+            wheel_scans=wheel.scans if wheel is not None else 0,
         )
 
         execution_cycles = max(

@@ -21,6 +21,7 @@ from repro.experiments.figures import (
     figure_6_4,
 )
 from repro.experiments.runner import headline_summary
+from repro.validate.report import render_markdown, validate_sweep
 
 
 def _figure_as_markdown(figure: FigureData, precision: int = 3) -> str:
@@ -107,6 +108,17 @@ def _per_application_section(sweep: SweepResult) -> str:
     return "\n".join(lines)
 
 
+def _validation_section(sweep: SweepResult) -> str:
+    """The perf-pattern section: invariant checks plus the anomaly scan.
+
+    Results restored from a store carry no configuration, so the
+    config-dependent checks (refresh cadence, leakage) are skipped there;
+    the ``validate`` CLI subcommand reconstructs configs from the grid and
+    runs the full set.
+    """
+    return render_markdown(validate_sweep(sweep))
+
+
 def sweep_report(sweep: SweepResult, title: str = "Refrint sweep report") -> str:
     """Produce a complete Markdown report for one sweep."""
     sections = [f"# {title}", ""]
@@ -126,4 +138,5 @@ def sweep_report(sweep: SweepResult, title: str = "Refrint sweep report") -> str
         sections.append(_figure_as_markdown(figure_6_3(sweep, selection)))
         sections.append(_figure_as_markdown(figure_6_4(sweep, selection)))
     sections.append(_per_application_section(sweep))
+    sections.append(_validation_section(sweep))
     return "\n".join(sections)

@@ -103,6 +103,10 @@ class TorusNetwork:
         weighted = hops * flits
         counts = self._counts
         counts["network_messages"] += 1
-        counts["network_router_hops"] += weighted
-        counts["network_link_hops"] += weighted
+        # A same-vertex message crosses no router or link; adding the zero
+        # would materialise phantom zero-valued hop counters into the live
+        # defaultdict and break counter-snapshot byte-identity.
+        if weighted:
+            counts["network_router_hops"] += weighted
+            counts["network_link_hops"] += weighted
         return hops * self._cycles_per_hop

@@ -252,9 +252,13 @@ class RefreshController(abc.ABC):
 
 
 def level_refresh_config(
-    config: SimulationConfig, level: str, cache: Cache
+    config: SimulationConfig, level: str, cache: "Cache | int"
 ) -> RefreshConfig:
     """The refresh configuration seen by one cache level's controller.
+
+    ``cache`` may be the live :class:`~repro.mem.cache.Cache` (controller
+    construction) or just its line count (the invariant engine recomputes
+    per-level retention from geometry alone, without building a hierarchy).
 
     On the paper-sized geometry every level simply uses the configured
     retention period.  On a *scaled* geometry the levels are shrunk by
@@ -278,6 +282,7 @@ def level_refresh_config(
         return refresh
     from repro.config.presets import paper_architecture
 
+    num_lines = getattr(cache, "num_lines", cache)
     paper = paper_architecture()
     paper_lines = {
         "l1i": paper.l1i.num_lines,
@@ -286,11 +291,11 @@ def level_refresh_config(
     }[level]
     paper_l3_lines = paper.l3_bank.num_lines
     actual_l3_lines = config.architecture.l3_bank.num_lines
-    level_scale = paper_lines / cache.num_lines
+    level_scale = paper_lines / num_lines
     l3_scale = paper_l3_lines / actual_l3_lines
     multiplier = max(1.0, l3_scale / level_scale)
     retention = max(2, int(round(refresh.retention_cycles * multiplier)))
-    margin = min(cache.num_lines, retention - 1)
+    margin = min(num_lines, retention - 1)
     return dataclasses.replace(
         refresh, retention_cycles=retention, sentry_margin_cycles=margin
     )

@@ -129,8 +129,12 @@ def geometric_mean(values: Iterable[float]) -> float:
     values = list(values)
     if not values:
         raise ValueError("geometric_mean of an empty sequence")
-    if any(v <= 0 for v in values):
-        raise ValueError("geometric_mean requires strictly positive values")
+    for index, value in enumerate(values):
+        if value <= 0:
+            raise ValueError(
+                "geometric_mean requires strictly positive values, got "
+                f"{value!r} at index {index}"
+            )
     log_sum = sum(math.log(v) for v in values)
     return math.exp(log_sum / len(values))
 

@@ -97,6 +97,10 @@ class RefreshWheel:
         #: Entries re-bucketed by their due probe instead of being served
         #: (group interrupt scans skipped), for diagnostics.
         self.skips = 0
+        #: Entries examined by drains (served or probe-skipped).  Every skip
+        #: is an examined entry, so ``skips <= scans`` always -- one of the
+        #: invariants repro.validate checks per run.
+        self.scans = 0
 
     def __len__(self) -> int:
         return self._len
@@ -174,6 +178,7 @@ class RefreshWheel:
                 del self._buckets[bucket]
             due.extend(entry for entry in entries if entry[0] <= cycle)
         self._len -= len(due)
+        self.scans += len(due)
         # Callbacks reschedule their groups through schedule(); defer the
         # re-arm until every handler has run so the whole burst costs one
         # queue operation.  An entry with a due probe is asked first: if

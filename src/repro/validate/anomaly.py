@@ -1,0 +1,149 @@
+"""Streaming campaign anomaly scan over the Table 5.4 retention grid.
+
+The retention grid has a shape the counters must respect: lengthening the
+retention period can only *reduce* refresh work (fewer sentry decays, fewer
+periodic passes), so for a fixed (application, timing policy, data policy)
+series the refresh operation count and refresh energy must be monotone
+non-increasing in retention time.  The workload trace, meanwhile, is
+content-addressed per application -- every configuration replays the same
+references -- so the ``instructions`` counter must be *identical* across
+every cell of one application, baseline included.
+
+:func:`scan_sweep` walks a sweep view cell by cell and keeps only scalar
+per-series state (the previous cell's refresh metrics), so a
+:class:`~repro.campaign.view.StoreSweep` over a 100k-point store is scanned
+with its small LRU as the only resident set -- the scan never calls
+``materialise()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.results import SimulationResult
+from repro.core.sweep import PolicyPoint, SweepResult
+
+#: Cache levels whose refresh counters feed the per-cell refresh-op total.
+CACHE_LEVELS = ("l1i", "l1d", "l2", "l3")
+
+#: Default relative slack for the monotone comparisons.  Refresh work is
+#: dominated by idle-line cadence and strictly shrinks with retention; the
+#: slack only absorbs boundary effects (one extra staggered pass at the end
+#: of a short run), not genuine inversions.
+DEFAULT_RTOL = 0.05
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One grid point whose counters break an expected campaign pattern."""
+
+    application: str
+    label: str
+    rule: str
+    detail: str
+
+
+@dataclass
+class AnomalyReport:
+    """Everything the streaming scan found (and could not find)."""
+
+    anomalies: List[Anomaly] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+    cells_scanned: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no cell broke an expected pattern."""
+        return not self.anomalies
+
+
+def _refresh_metrics(result: SimulationResult) -> Tuple[float, int]:
+    """(refresh energy in joules, total refresh operations) of one cell."""
+    energy = result.energy.by_component.get("refresh", 0.0)
+    ops = sum(result.counter(f"{level}_refreshes") for level in CACHE_LEVELS)
+    return energy, ops
+
+
+def _series(points: List[PolicyPoint]) -> List[List[PolicyPoint]]:
+    """Group the grid into fixed-policy series ordered by retention time."""
+    by_policy: Dict[Tuple[str, str], List[PolicyPoint]] = {}
+    for point in points:
+        key = (point.timing_policy.value, point.data_policy.label)
+        by_policy.setdefault(key, []).append(point)
+    return [
+        sorted(series, key=lambda p: p.retention_us)
+        for series in by_policy.values()
+    ]
+
+
+def scan_sweep(sweep: SweepResult, rtol: float = DEFAULT_RTOL) -> AnomalyReport:
+    """Scan a sweep (in-memory or store-backed) for counter-ratio anomalies.
+
+    Works on any :class:`~repro.core.sweep.SweepResult`; on a
+    :class:`~repro.campaign.view.StoreSweep` each cell is loaded once and
+    only scalars are retained, so memory stays bounded by the view's LRU.
+    Missing cells (incomplete campaigns) are recorded, never fatal: a gap
+    simply restarts the monotone comparison on the far side.
+    """
+    report = AnomalyReport()
+    series_list = _series(list(sweep.points))
+    for application in sweep.applications:
+        baseline_instructions: Optional[int] = None
+        try:
+            baseline = sweep.baseline(application)
+        except KeyError:
+            report.missing.append(f"{application}/SRAM")
+        else:
+            report.cells_scanned += 1
+            baseline_instructions = baseline.counter("instructions")
+        for series in series_list:
+            previous: Optional[Tuple[str, float, int]] = None
+            for point in series:
+                try:
+                    result = sweep.result(application, point)
+                except KeyError:
+                    report.missing.append(f"{application}/{point.label}")
+                    previous = None
+                    continue
+                report.cells_scanned += 1
+                energy, ops = _refresh_metrics(result)
+                instructions = result.counter("instructions")
+                if (
+                    baseline_instructions is not None
+                    and instructions != baseline_instructions
+                ):
+                    report.anomalies.append(
+                        Anomaly(
+                            application,
+                            point.label,
+                            "trace-invariance",
+                            f"instructions={instructions} but the SRAM "
+                            f"baseline executed {baseline_instructions}",
+                        )
+                    )
+                if previous is not None:
+                    prev_label, prev_energy, prev_ops = previous
+                    if energy > prev_energy * (1.0 + rtol):
+                        report.anomalies.append(
+                            Anomaly(
+                                application,
+                                point.label,
+                                "refresh-energy-monotone",
+                                f"refresh energy {energy:.6e} J rose above "
+                                f"{prev_energy:.6e} J at the shorter "
+                                f"retention {prev_label}",
+                            )
+                        )
+                    if ops > prev_ops * (1.0 + rtol):
+                        report.anomalies.append(
+                            Anomaly(
+                                application,
+                                point.label,
+                                "refresh-ops-monotone",
+                                f"{ops} refresh ops exceed {prev_ops} at the "
+                                f"shorter retention {prev_label}",
+                            )
+                        )
+                previous = (point.label, energy, ops)
+    return report

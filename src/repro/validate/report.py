@@ -1,0 +1,175 @@
+"""Campaign-level validation: orchestrate the checks and render the report.
+
+:func:`validate_sweep` runs the per-run invariant engine over every cell of
+a sweep (baseline plus each grid point) and the streaming anomaly scan over
+the whole campaign, returning one :class:`CampaignValidation`.
+:func:`render_markdown` turns it into the perf-pattern report section the
+``validate`` CLI subcommand and :func:`repro.experiments.report.sweep_report`
+print; :func:`as_json_dict` is the machine-readable artifact CI gates on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.config.parameters import ArchitectureConfig, SimulationConfig
+from repro.core.sweep import SweepResult
+from repro.energy.tables import TechnologyTables
+from repro.validate.anomaly import AnomalyReport, DEFAULT_RTOL, scan_sweep
+from repro.validate.invariants import RunValidation, check_result
+
+
+@dataclass
+class CampaignValidation:
+    """Invariant outcomes for every run plus the campaign anomaly scan."""
+
+    runs: List[RunValidation] = field(default_factory=list)
+    anomalies: AnomalyReport = field(default_factory=AnomalyReport)
+
+    @property
+    def ok(self) -> bool:
+        """True when every run held every invariant and no cell is anomalous."""
+        return all(run.ok for run in self.runs) and self.anomalies.ok
+
+    @property
+    def violation_count(self) -> int:
+        """Total invariant violations across all runs."""
+        return sum(len(run.violations) for run in self.runs)
+
+
+def validate_sweep(
+    sweep: SweepResult,
+    architecture: Optional[ArchitectureConfig] = None,
+    tables: Optional[TechnologyTables] = None,
+    rtol: float = DEFAULT_RTOL,
+) -> CampaignValidation:
+    """Validate every cell of a sweep and scan the campaign for anomalies.
+
+    Args:
+        sweep: an in-memory :class:`~repro.core.sweep.SweepResult` or a
+            store-backed :class:`~repro.campaign.view.StoreSweep`.
+        architecture: the chip geometry the campaign was run with.  When
+            given, restored results (which carry no config) get their
+            configuration reconstructed from their grid point, enabling the
+            refresh-cadence and leakage invariants; when None, those checks
+            run only for results still carrying a live config.
+        tables: energy-table override matching a non-default campaign.
+        rtol: relative slack for the anomaly scan's monotone comparisons.
+    """
+    validation = CampaignValidation()
+    baseline_config = (
+        SimulationConfig.sram(architecture) if architecture is not None else None
+    )
+    for application in sweep.applications:
+        try:
+            baseline = sweep.baseline(application)
+        except KeyError:
+            pass  # recorded by the anomaly scan's missing list
+        else:
+            validation.runs.append(
+                check_result(baseline, config=baseline_config, tables=tables)
+            )
+        for point in sweep.points:
+            try:
+                result = sweep.result(application, point)
+            except KeyError:
+                continue
+            config = (
+                point.simulation_config(architecture)
+                if architecture is not None
+                else None
+            )
+            validation.runs.append(
+                check_result(result, config=config, tables=tables)
+            )
+    validation.anomalies = scan_sweep(sweep, rtol=rtol)
+    return validation
+
+
+def render_markdown(
+    validation: CampaignValidation, title: str = "Counter validation"
+) -> str:
+    """Render a validation as the Markdown perf-pattern report section."""
+    anomalies = validation.anomalies
+    lines = [f"## {title}", ""]
+    lines.append(
+        f"{len(validation.runs)} runs validated: "
+        f"{validation.violation_count} invariant violations, "
+        f"{len(anomalies.anomalies)} campaign anomalies, "
+        f"{len(anomalies.missing)} missing cells "
+        f"({anomalies.cells_scanned} cells scanned)."
+    )
+    lines.append("")
+    failing = [run for run in validation.runs if not run.ok]
+    if failing:
+        lines.append("### Invariant violations")
+        lines.append("")
+        lines.append("| application | configuration | invariant | detail |")
+        lines.append("|---|---|---|---|")
+        for run in failing:
+            for check in run.violations:
+                lines.append(
+                    f"| {run.application} | {run.label} | {check.name} | "
+                    f"{check.detail} |"
+                )
+        lines.append("")
+    if anomalies.anomalies:
+        lines.append("### Campaign anomalies")
+        lines.append("")
+        lines.append("| application | configuration | rule | detail |")
+        lines.append("|---|---|---|---|")
+        for anomaly in anomalies.anomalies:
+            lines.append(
+                f"| {anomaly.application} | {anomaly.label} | {anomaly.rule} | "
+                f"{anomaly.detail} |"
+            )
+        lines.append("")
+    if anomalies.missing:
+        lines.append(
+            "Missing cells: " + ", ".join(anomalies.missing[:20])
+            + (" ..." if len(anomalies.missing) > 20 else "")
+        )
+        lines.append("")
+    if validation.ok and not anomalies.missing:
+        lines.append("All invariants held; no anomalies flagged.")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def as_json_dict(validation: CampaignValidation) -> dict:
+    """The machine-readable artifact CI gates on (zero violations)."""
+    anomalies = validation.anomalies
+    return {
+        "ok": validation.ok,
+        "summary": {
+            "runs": len(validation.runs),
+            "violations": validation.violation_count,
+            "anomalies": len(anomalies.anomalies),
+            "missing": len(anomalies.missing),
+            "cells_scanned": anomalies.cells_scanned,
+        },
+        "runs": [
+            {
+                "application": run.application,
+                "label": run.label,
+                "ok": run.ok,
+                "checks_run": len(run.checks),
+                "violations": [
+                    {"name": check.name, "detail": check.detail}
+                    for check in run.violations
+                ],
+            }
+            for run in validation.runs
+        ],
+        "anomalies": [
+            {
+                "application": anomaly.application,
+                "label": anomaly.label,
+                "rule": anomaly.rule,
+                "detail": anomaly.detail,
+            }
+            for anomaly in anomalies.anomalies
+        ],
+        "missing": list(anomalies.missing),
+    }

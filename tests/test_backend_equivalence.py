@@ -28,6 +28,7 @@ from repro.config.presets import scaled_architecture, scaled_retention_cycles
 from repro.core.simulator import RefrintSimulator
 from repro.cpu.trace import MemoryOperation, TraceRecord, TraceStream
 from repro.mem.arrays import HAVE_NUMPY
+from repro.validate import check_result
 from repro.workloads.suite import build_application
 
 #: Short but non-trivial traces: every config exercises fills, evictions,
@@ -130,10 +131,19 @@ def test_all_backends_and_replays_are_byte_identical(
     backend, replay, kernel,
 ):
     config = _config_matrix(architecture)[config_label]
-    result = RefrintSimulator(
+    simulator = RefrintSimulator(
         config, cache_backend=backend, replay=replay, kernel=kernel
-    ).run(workloads[application])
+    )
+    result = simulator.run(workloads[application])
     assert _canonical_bytes(result) == reference_results[(config_label, application)]
+    # Every cell of the matrix must also hold the analytic invariants --
+    # byte-identity alone would let a bug shared by all backends through.
+    validation = check_result(
+        result, config=config, replay_stats=simulator.last_replay_stats
+    )
+    assert validation.ok, [
+        (check.name, check.detail) for check in validation.violations
+    ]
 
 
 def test_runahead_pops_far_fewer_events(architecture, workloads):

@@ -91,8 +91,10 @@ class TestCommands:
         assert "Headline comparison" in report
 
 
-    def test_sweep_command_store_and_resume(self, tmp_path):
-        store = tmp_path / "store"
+    @pytest.fixture(scope="class")
+    def cli_store(self, tmp_path_factory):
+        """One stored CLI campaign, shared by the resume and validate tests."""
+        store = tmp_path_factory.mktemp("cli") / "store"
         argv = [
             "sweep", "--applications", "blackscholes",
             "--length-scale", "0.05", "--retentions", "50",
@@ -100,13 +102,61 @@ class TestCommands:
         ]
         out = io.StringIO()
         assert main(argv, out=out) == 0
-        first = out.getvalue()
+        return store, argv, out.getvalue()
+
+    def test_sweep_command_store_and_resume(self, cli_store):
+        store, argv, first = cli_store
         assert "simulated" in first and store.exists()
         out = io.StringIO()
         assert main(argv + ["--resume"], out=out) == 0
         second = out.getvalue()
         assert "0 simulated" in second
         assert "(cached)" in second
+
+    def test_validate_command_passes_on_clean_store(self, cli_store, tmp_path):
+        store, _argv, _ = cli_store
+        json_path = tmp_path / "validation.json"
+        out = io.StringIO()
+        code = main(
+            [
+                "validate", "--store", str(store),
+                "--applications", "blackscholes",
+                "--length-scale", "0.05", "--retentions", "50",
+                "--json", str(json_path),
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "Counter validation" in text
+        assert "0 invariant violations" in text
+        data = json.loads(json_path.read_text())
+        assert data["ok"] is True
+        assert data["summary"]["violations"] == 0
+        assert data["summary"]["missing"] == 0
+        assert data["summary"]["runs"] == data["summary"]["cells_scanned"] > 0
+
+    def test_validate_command_strict_missing(self, cli_store, tmp_path):
+        store, _argv, _ = cli_store
+        # Ask for an application the store does not hold: every cell of
+        # that grid slice is missing.  Lenient mode reports but passes ...
+        argv = [
+            "validate", "--store", str(store),
+            "--applications", "blackscholes,fft",
+            "--length-scale", "0.05", "--retentions", "50",
+        ]
+        out = io.StringIO()
+        assert main(argv, out=out) == 0
+        assert "missing cells" in out.getvalue()
+        # ... strict mode gates on completeness.
+        assert main(argv + ["--strict-missing"], out=io.StringIO()) == 1
+
+    def test_validate_command_rejects_missing_directory(self, tmp_path, capsys):
+        code = main(
+            ["validate", "--store", str(tmp_path / "nope")], out=io.StringIO()
+        )
+        assert code == 2
+        assert "not a directory" in capsys.readouterr().err
 
     def test_sweep_resume_requires_store(self, capsys):
         assert main(["sweep", "--resume"], out=io.StringIO()) == 2
@@ -132,6 +182,8 @@ class TestReport:
             assert marker in report
         assert "| fft |" in report
         assert "Headline comparison" in report
+        assert "Counter validation" in report
+        assert "All invariants held" in report
 
     def test_report_is_valid_markdown_tables(self, tiny_sweep):
         report = sweep_report(tiny_sweep)

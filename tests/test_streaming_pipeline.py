@@ -298,6 +298,48 @@ class TestStoreSweep:
     def test_missing_keys_empty_when_complete(self, view):
         assert view.missing_keys() == []
 
+    def test_lazy_baselines_is_a_full_mapping(self, view, canned):
+        from collections.abc import Mapping
+
+        _, sweep_before = canned
+        real = sweep_before.baselines
+        lazy = view.baselines
+        assert isinstance(lazy, Mapping)
+        assert set(lazy.keys()) == set(real.keys())
+        assert lazy.get("blackscholes").to_dict() == real["blackscholes"].to_dict()
+        assert lazy.get("no-such-app") is None
+        assert lazy.get("no-such-app", "fallback") == "fallback"
+        assert [r.to_dict() for r in lazy.values()] == [
+            r.to_dict() for r in real.values()
+        ]
+        assert {name: r.to_dict() for name, r in lazy.items()} == {
+            name: r.to_dict() for name, r in real.items()
+        }
+
+    def test_missing_keys_takes_one_keys_snapshot(self, tmp_path, jobs, canned):
+        results, _ = canned
+        calls = {"keys": 0, "contains": 0}
+
+        class CountingStore(ResultStore):
+            def keys(self):
+                calls["keys"] += 1
+                return super().keys()
+
+            def __contains__(self, key):
+                calls["contains"] += 1
+                return super().__contains__(key)
+
+        store = CountingStore(tmp_path / "store")
+        for job in jobs:
+            store.put(job, results[job.key()])
+        view = StoreSweep(store, jobs, POINTS)
+        calls["keys"] = calls["contains"] = 0
+        assert view.missing_keys() == []
+        # One index snapshot, zero per-cell filesystem probes: completeness
+        # checks stay O(1) store round-trips however large the grid is.
+        assert calls["keys"] == 1
+        assert calls["contains"] == 0
+
 
 class TestStreamingRunner:
     def test_streaming_runner_returns_store_sweep(self, tmp_path, canned):

@@ -88,6 +88,19 @@ class TestMeans:
         with pytest.raises(ValueError):
             geometric_mean([])
 
+    def test_geometric_mean_error_names_the_offending_value(self):
+        with pytest.raises(ValueError, match=r"got -3\.0 at index 2"):
+            geometric_mean([1.0, 2.0, -3.0, 4.0])
+        with pytest.raises(ValueError, match=r"got 0 at index 0"):
+            geometric_mean([0, 5.0])
+
+    def test_geometric_mean_error_reports_first_offender(self):
+        with pytest.raises(ValueError, match=r"at index 1"):
+            geometric_mean([1.0, 0.0, -1.0])
+
+    def test_geometric_mean_accepts_generators(self):
+        assert geometric_mean(v for v in [1.0, 4.0]) == pytest.approx(2.0)
+
     def test_arithmetic_mean(self):
         assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
         with pytest.raises(ValueError):
