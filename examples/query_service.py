@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""A client for the sweep query service (and the CI smoke driver).
+
+Builds a typed query from flags, POSTs it to a running service
+(``python -m repro.cli serve``), prints the answers with their
+exact-vs-surrogate flags and provenance, and can *assert* expectations so
+CI can gate on the service's behaviour with this same script:
+
+* ``--expect-exact`` / ``--expect-surrogate`` -- fail unless every
+  (non-baseline) answer is ground truth / an interpolation;
+* ``--expect-source store|simulated|surrogate`` -- fail unless every
+  answer names that provenance source;
+* ``--expect-stat jobs_executed=3`` -- fail unless the service's exact
+  counter has that value after the query (repeatable);
+* ``--wait-backfill`` -- poll ``/v1/stats`` until no scheduled backfill is
+  outstanding (so a following query can assert the exact re-answer).
+
+Examples::
+
+    # Ask for the stored grid (instant, exact):
+    python examples/query_service.py --applications fft --retentions 50,200
+
+    # What-if between grid points (sub-millisecond, exact=False + bounds):
+    python examples/query_service.py --applications fft --retentions 125
+
+Only the standard library is used, like the service itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+DEFAULT_URL = "http://127.0.0.1:8023"
+
+
+def fetch(url: str, payload=None):
+    """One JSON request; returns (status, parsed body)."""
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url,
+        data=data,
+        headers={"Content-Type": "application/json"} if data else {},
+        method="POST" if data is not None else "GET",
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def wait_for_service(base_url: str, timeout_s: float = 30.0) -> dict:
+    """Poll /v1/health until the service answers (it may still be booting)."""
+    deadline = time.monotonic() + timeout_s
+    last_error = None
+    while time.monotonic() < deadline:
+        try:
+            status, body = fetch(f"{base_url}/v1/health")
+            if status == 200:
+                return body
+        except OSError as error:
+            last_error = error
+        time.sleep(0.2)
+    raise SystemExit(f"service at {base_url} not answering: {last_error}")
+
+
+def wait_for_backfills(base_url: str, timeout_s: float = 120.0) -> dict:
+    """Poll /v1/stats until every scheduled backfill has completed."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        _, stats = fetch(f"{base_url}/v1/stats")
+        if stats["backfills_completed"] >= stats["backfills_scheduled"]:
+            return stats
+        time.sleep(0.2)
+    raise SystemExit("backfills did not complete in time")
+
+
+def print_answer(answer: dict) -> None:
+    kind = "exact" if answer["exact"] else "approx"
+    source = answer["provenance"]["source"]
+    line = (
+        f"  {answer['application']:14s} {answer['label']:22s} "
+        f"[{kind}/{source}]"
+    )
+    metrics = answer["metrics"]
+    line += (
+        f" memory={metrics['memory_energy_j']:.4e} J"
+        f" cycles={metrics['execution_cycles']:.0f}"
+    )
+    if answer.get("bounds"):
+        line += f" bounds={answer['bounds']}"
+    if answer.get("normalised"):
+        norm = answer["normalised"]
+        line += f" vs-SRAM mem={norm['memory']:.3f} time={norm['time']:.3f}"
+    print(line)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--url", default=DEFAULT_URL)
+    parser.add_argument("--applications", default="fft")
+    parser.add_argument("--retentions", default="50")
+    parser.add_argument("--timing", default="refrint")
+    parser.add_argument("--data", default="WB(32,32)")
+    parser.add_argument("--length-scale", type=float, default=0.5)
+    parser.add_argument("--seed", type=int, default=None)
+    parser.add_argument("--no-surrogate", action="store_true")
+    parser.add_argument("--expect-exact", action="store_true")
+    parser.add_argument("--expect-surrogate", action="store_true")
+    parser.add_argument("--expect-source", default=None)
+    parser.add_argument(
+        "--expect-stat", action="append", default=[], metavar="NAME=VALUE"
+    )
+    parser.add_argument("--wait-backfill", action="store_true")
+    parser.add_argument("--stats", action="store_true", help="print /v1/stats")
+    args = parser.parse_args(argv)
+
+    health = wait_for_service(args.url)
+    print(f"service ok: store={health['store_backend']}, "
+          f"surrogate={'on' if health['surrogate'] else 'off'}")
+
+    query = {
+        "applications": args.applications,
+        "retentions_us": args.retentions,
+        "timing_policies": [args.timing],
+        "data_policies": [args.data],
+        "length_scale": args.length_scale,
+        "allow_surrogate": not args.no_surrogate,
+    }
+    if args.seed is not None:
+        query["seed"] = args.seed
+    status, body = fetch(f"{args.url}/v1/query", query)
+    if status != 200:
+        print(f"query failed ({status}): {body.get('error')}", file=sys.stderr)
+        return 1
+
+    print(f"exact={body['exact']}")
+    for answer in body["answers"]:
+        print_answer(answer)
+    if body.get("aggregates"):
+        print("aggregates (all-application averages vs SRAM):")
+        for label, values in body["aggregates"].items():
+            print(f"  {label:22s} memory={values['memory']:.3f} "
+                  f"system={values['system']:.3f} time={values['time']:.3f}")
+
+    checked = [
+        answer for answer in body["answers"]
+        if answer["label"] != "SRAM baseline"
+    ]
+    if args.expect_exact and not all(a["exact"] for a in checked):
+        print("EXPECTATION FAILED: wanted exact answers", file=sys.stderr)
+        return 1
+    if args.expect_surrogate:
+        bad = [a for a in checked if a["exact"] or not a.get("bounds")]
+        if bad:
+            print("EXPECTATION FAILED: wanted surrogate answers with bounds",
+                  file=sys.stderr)
+            return 1
+    if args.expect_source is not None:
+        sources = {a["provenance"]["source"] for a in checked}
+        if sources != {args.expect_source}:
+            print(f"EXPECTATION FAILED: wanted source={args.expect_source}, "
+                  f"got {sorted(sources)}", file=sys.stderr)
+            return 1
+
+    if args.wait_backfill:
+        stats = wait_for_backfills(args.url)
+        print(f"backfills complete: {stats['backfills_completed']}")
+
+    if args.stats or args.expect_stat:
+        _, stats = fetch(f"{args.url}/v1/stats")
+        print(f"stats: {json.dumps(stats)}")
+        for expectation in args.expect_stat:
+            name, _, wanted = expectation.partition("=")
+            if stats.get(name) != int(wanted):
+                print(f"EXPECTATION FAILED: stats[{name}] == "
+                      f"{stats.get(name)}, wanted {wanted}", file=sys.stderr)
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,7 +19,10 @@ The library is organised in layers:
   the regeneration of every evaluation table and figure
   (:mod:`repro.workloads`, :mod:`repro.core`, :mod:`repro.experiments`);
 * campaign -- parallel, resumable sweep execution with a persistent
-  content-addressed result store (:mod:`repro.campaign`).
+  content-addressed result store (:mod:`repro.campaign`);
+* serving -- the typed query API and the asyncio HTTP service answering
+  (workload, config-grid) queries from any store, with coalescing and
+  surrogate interpolation (:mod:`repro.api`, :mod:`repro.service`).
 
 Quickstart
 ----------
@@ -33,6 +36,16 @@ Quickstart
 True
 """
 
+from repro.api import (
+    PointAnswer,
+    Provenance,
+    Query,
+    QueryRequest,
+    QueryResponse,
+    QueryValidationError,
+    SurrogateLattice,
+    answer_query,
+)
 from repro.campaign import (
     CampaignStats,
     ParallelExecutor,
@@ -56,9 +69,10 @@ from repro.config.parameters import (
 from repro.core.results import SimulationResult
 from repro.core.simulator import RefrintSimulator
 from repro.core.sweep import PolicyPoint, SweepResult, run_sweep
+from repro.service import SweepService, make_service, run_service, serve
 from repro.workloads.suite import WorkloadRequest
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ArchitectureConfig",
@@ -67,7 +81,13 @@ __all__ = [
     "CellTechnology",
     "DataPolicyKind",
     "ParallelExecutor",
+    "PointAnswer",
     "PolicyPoint",
+    "Provenance",
+    "Query",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryValidationError",
     "RefreshConfig",
     "RefrintSimulator",
     "ResultStore",
@@ -76,12 +96,18 @@ __all__ = [
     "SimulationConfig",
     "SimulationResult",
     "StoreSweep",
+    "SurrogateLattice",
     "SweepResult",
+    "SweepService",
     "TimingPolicyKind",
     "WorkloadRequest",
+    "answer_query",
+    "make_service",
     "open_store",
     "run_campaign",
+    "run_service",
     "run_sweep",
+    "serve",
     "stream_campaign",
     "__version__",
 ]

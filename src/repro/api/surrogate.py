@@ -1,0 +1,224 @@
+"""Surrogate answers: multilinear interpolation over the stored sweep surface.
+
+The Table 5.4 campaign samples the retention axis at a handful of grid
+points (50/100/200 us by default).  A "what-if" query between those points
+does not need a fresh simulation to be *useful*: the energy/time surface is
+smooth in retention (refresh energy scales with refresh cadence), so a
+multilinear interpolation over already-stored exact results answers in
+microseconds instead of minutes.
+
+The contract is strict, in the CounterPoint spirit of never letting an
+approximation masquerade as measurement:
+
+- A surrogate is only offered *between* stored grid points (inside the
+  convex hull, every corner result present in the store).  Outside the
+  hull, or with any corner missing, the lattice declines and the service
+  falls back to a real simulation.
+- Every surrogate answer is stamped ``exact=False``, carries the
+  interpolation interval per off-grid axis (``bounds``) and the job hashes
+  of the exact corner results it was built from (``corner_keys``).
+- Interpolated metrics are convex combinations of the corner metrics, so
+  each lies within the corner envelope -- an invariant
+  :mod:`repro.validate.service` re-checks on served answers.
+
+:class:`SurrogateLattice` is deliberately store-backed and stateless
+between calls: it re-reads corners through the store's own cache layers, so
+a backfilled exact result is picked up without invalidation logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.api.query import ANSWER_METRICS, QueryPoint, metrics_from_result
+from repro.campaign.jobs import Job
+from repro.campaign.store import BaseResultStore
+from repro.config.parameters import ArchitectureConfig
+from repro.config.presets import scaled_architecture
+from repro.core.sweep import DEFAULT_RETENTION_TIMES_US, PolicyPoint
+
+
+@dataclass(frozen=True)
+class AxisBracket:
+    """One axis of an interpolation: the value sits in [lo, hi].
+
+    ``weight`` is the fractional position of the query value between the
+    bracketing grid points (0 at ``lo``, 1 at ``hi``); on-grid axes are
+    represented by lo == hi and weight 0.
+    """
+
+    name: str
+    value: float
+    lo: float
+    hi: float
+
+    @property
+    def weight(self) -> float:
+        """Fractional position of ``value`` in [lo, hi] (0 when on-grid)."""
+        if self.hi == self.lo:
+            return 0.0
+        return (self.value - self.lo) / (self.hi - self.lo)
+
+    @property
+    def on_grid(self) -> bool:
+        """True when the value coincides with a grid point."""
+        return self.hi == self.lo
+
+
+@dataclass
+class SurrogateAnswer:
+    """An interpolated answer: metrics, the interval per off-grid axis and
+    the exact corner results it was combined from."""
+
+    metrics: Dict[str, float]
+    bounds: Dict[str, List[float]]
+    corner_keys: Tuple[str, ...]
+
+
+def bracket_axis(name: str, value: float, grid: Sequence[float]) -> Optional[AxisBracket]:
+    """Bracket ``value`` inside a sorted ``grid``; None outside the hull.
+
+    An on-grid value returns a degenerate (lo == hi) bracket, so callers
+    can distinguish "no interpolation needed on this axis" from "outside
+    the lattice entirely".
+    """
+    points = sorted(grid)
+    if not points or value < points[0] or value > points[-1]:
+        return None
+    for point in points:
+        if value == point:
+            return AxisBracket(name=name, value=value, lo=point, hi=point)
+    for lo, hi in zip(points, points[1:]):
+        if lo < value < hi:
+            return AxisBracket(name=name, value=value, lo=lo, hi=hi)
+    return None
+
+
+class SurrogateLattice:
+    """Multilinear interpolator over the stored retention/energy surface.
+
+    Args:
+        store: any :func:`~repro.campaign.store.open_store` backend holding
+            the exact corner results.
+        architecture: the machine model queries are normalised against
+            (must match the one the corners were simulated on, or the
+            corner job hashes will not resolve).
+        retentions_us: the retention grid the lattice interpolates over.
+        length_scales: optional second axis -- when given, off-grid trace
+            lengths are interpolated too; when None (the default) the
+            query's length scale must match the stored runs exactly.
+    """
+
+    def __init__(
+        self,
+        store: BaseResultStore,
+        architecture: Optional[ArchitectureConfig] = None,
+        retentions_us: Sequence[float] = DEFAULT_RETENTION_TIMES_US,
+        length_scales: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.store = store
+        self.architecture = (
+            architecture if architecture is not None else scaled_architecture()
+        )
+        self.retentions_us = tuple(sorted(retentions_us))
+        self.length_scales = (
+            tuple(sorted(length_scales)) if length_scales is not None else None
+        )
+
+    # -- corner construction ------------------------------------------------------
+
+    def corner_job(
+        self, query_point: QueryPoint, retention_us: float, length_scale: float
+    ) -> Job:
+        """The exact job at one lattice corner of a query point."""
+        workload = replace(query_point.job.workload, length_scale=length_scale)
+        point = query_point.point
+        assert point is not None  # baselines are never interpolated
+        corner_point = PolicyPoint(
+            retention_us=retention_us,
+            timing_policy=point.timing_policy,
+            data_policy=point.data_policy,
+        )
+        return Job(
+            workload=workload,
+            config=corner_point.simulation_config(self.architecture),
+            point_label=corner_point.label,
+        )
+
+    def brackets_for(self, query_point: QueryPoint) -> Optional[List[AxisBracket]]:
+        """Bracket every lattice axis for a query point; None when the point
+        lies outside the hull or is not interpolable (baseline, or an
+        off-grid axis the lattice does not span)."""
+        point = query_point.point
+        if point is None:
+            return None  # the SRAM baseline has no retention axis
+        retention = bracket_axis(
+            "retention_us", point.retention_us, self.retentions_us
+        )
+        if retention is None:
+            return None
+        brackets = [retention]
+        if self.length_scales is not None:
+            scale = bracket_axis(
+                "length_scale",
+                query_point.job.workload.length_scale,
+                self.length_scales,
+            )
+            if scale is None:
+                return None
+            brackets.append(scale)
+        return brackets
+
+    # -- interpolation ------------------------------------------------------------
+
+    def interpolate(self, query_point: QueryPoint) -> Optional[SurrogateAnswer]:
+        """Interpolate one off-grid query point from stored exact corners.
+
+        Returns None -- meaning "no surrogate available, simulate instead"
+        -- when the point is a baseline, lies on the lattice grid exactly
+        (an exact answer should be produced instead), falls outside the
+        hull, or any corner result is missing from the store.
+        """
+        brackets = self.brackets_for(query_point)
+        if brackets is None:
+            return None
+        off_grid = [b for b in brackets if not b.on_grid]
+        if not off_grid:
+            return None  # on-grid everywhere: this is a plain store miss/hit
+        # Cartesian corners over the off-grid axes (on-grid axes are pinned).
+        corner_values: List[Tuple[float, ...]] = list(
+            product(*[(b.lo, b.hi) if not b.on_grid else (b.lo,) for b in brackets])
+        )
+        axis_names = [b.name for b in brackets]
+        corner_results: List[Tuple[float, Dict[str, float], str]] = []
+        for values in corner_values:
+            coords = dict(zip(axis_names, values))
+            weight = 1.0
+            for bracket in brackets:
+                position = coords[bracket.name]
+                w = bracket.weight
+                weight *= (w if position == bracket.hi else 1.0 - w) if not bracket.on_grid else 1.0
+            retention = coords["retention_us"]
+            length_scale = coords.get(
+                "length_scale", query_point.job.workload.length_scale
+            )
+            job = self.corner_job(query_point, retention, length_scale)
+            result = self.store.get(job.key())
+            if result is None:
+                return None  # a missing corner disqualifies the surrogate
+            corner_results.append((weight, metrics_from_result(result), job.key()))
+        metrics = {
+            name: sum(
+                weight * corner_metrics[name]
+                for weight, corner_metrics, _ in corner_results
+            )
+            for name in ANSWER_METRICS
+        }
+        bounds = {b.name: [b.lo, b.hi] for b in off_grid}
+        return SurrogateAnswer(
+            metrics=metrics,
+            bounds=bounds,
+            corner_keys=tuple(key for _, _, key in corner_results),
+        )

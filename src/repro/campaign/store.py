@@ -383,9 +383,12 @@ def open_store(
             pass
         else:
             raise ValueError(
-                f"store {root} holds a {detected!r}-layout store; refusing to "
-                f"open it with backend={backend!r} (use 'store migrate' to "
-                f"convert it)"
+                f"store {root} holds a {detected!r}-layout store but "
+                f"backend={backend!r} was requested; refusing to mix two "
+                f"layouts in one directory. Either open it with "
+                f"backend='{detected}' (or 'auto'), or convert it first: "
+                f"python -m repro.cli store migrate {root} <new-dir> "
+                f"--to {backend}"
             )
     if backend == "json":
         return ResultStore(root, **kwargs)

@@ -26,6 +26,15 @@ Three subcommands cover the common workflows without writing any Python:
     Exits non-zero on any violation or anomaly, so CI can gate on it;
     ``--json`` writes the machine-readable artifact.
 
+``serve``
+    Boot the sweep query service: an asyncio HTTP endpoint answering
+    POSTed (workload, config-grid) queries from a result store, coalescing
+    concurrent identical queries on job hash, interpolating off-grid
+    configurations (``exact=False`` surrogates with asynchronous exact
+    backfill) and scheduling genuine misses onto the campaign executors.
+    The argument surface is the same typed :class:`QueryRequest` schema the
+    HTTP body uses, so CLI and service answers share job hashes and stores.
+
 ``store``
     Maintain a campaign result store (either backend -- the per-file JSON
     layout or the indexed segment layout, auto-detected): ``store ls DIR``
@@ -47,6 +56,7 @@ Examples::
         --store results/ --store-backend segment --resume
     python -m repro.cli store verify results/
     python -m repro.cli store migrate results/ results-seg/ --to segment
+    python -m repro.cli serve --store results/ --port 8023
     python -m repro.cli validate --store results/ \
         --applications fft,blackscholes --retentions 50 \
         --length-scale 0.05 --json validation.json
@@ -56,68 +66,86 @@ from __future__ import annotations
 
 import argparse
 import json
-import re
 import sys
+import warnings
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from repro.api.query import QueryRequest, QueryValidationError
 from repro.campaign.engine import make_executor, run_campaign
 from repro.config.parameters import DataPolicySpec, SimulationConfig, TimingPolicyKind
-from repro.config.presets import scaled_architecture
+from repro.config.presets import paper_data_policies, scaled_architecture
 from repro.core.simulator import RefrintSimulator
-from repro.core.sweep import PolicyPoint, default_policy_points
+from repro.core.sweep import PolicyPoint
 from repro.experiments import figures as figure_module
 from repro.experiments import tables as table_module
 from repro.experiments.report import sweep_report
 from repro.experiments.runner import headline_summary
-from repro.workloads.suite import (
-    APPLICATION_NAMES,
-    DEFAULT_SEED,
-    WorkloadRequest,
-    build_application,
-)
+from repro.workloads.suite import APPLICATION_NAMES, DEFAULT_SEED, build_application
+
+# ---------------------------------------------------------------------------
+# Argument parsing: one source of truth
+#
+# Every textual policy/application/retention argument is parsed by the
+# QueryRequest schema (repro.api.query) -- the same parsers the HTTP service
+# runs on POSTed payloads -- so the CLI and the network API literally cannot
+# drift.  The argparse adapters below only translate QueryValidationError
+# into argparse.ArgumentTypeError for the usual usage-line error rendering.
+# ---------------------------------------------------------------------------
+
+
+def _adapt(parse, text: str):
+    try:
+        return parse(text)
+    except QueryValidationError as error:
+        raise argparse.ArgumentTypeError(str(error)) from None
+
+
+def _data_policy_arg(text: str) -> DataPolicySpec:
+    return _adapt(QueryRequest.parse_data_policy, text)
+
+
+def _timing_policy_arg(text: str) -> TimingPolicyKind:
+    return _adapt(QueryRequest.parse_timing_policy, text)
+
+
+def _applications_arg(text: str) -> List[str]:
+    return list(_adapt(QueryRequest.parse_applications, text))
+
+
+def _retentions_arg(text: str) -> tuple:
+    return _adapt(QueryRequest.parse_retentions, text)
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.cli.{old} has moved to repro.api.query.{new}; "
+        f"this alias will be removed in the next release",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def parse_data_policy(text: str) -> DataPolicySpec:
-    """Parse a data-policy label: all, valid, dirty or WB(n,m)."""
-    label = text.strip().lower()
-    if label == "all":
-        return DataPolicySpec.all_lines()
-    if label == "valid":
-        return DataPolicySpec.valid()
-    if label == "dirty":
-        return DataPolicySpec.dirty()
-    match = re.fullmatch(r"wb\((\d+),\s*(\d+)\)", label)
-    if match:
-        return DataPolicySpec.writeback(int(match.group(1)), int(match.group(2)))
-    raise argparse.ArgumentTypeError(
-        f"unknown data policy {text!r}; expected all, valid, dirty or WB(n,m)"
-    )
+    """Deprecated alias of :meth:`QueryRequest.parse_data_policy`."""
+    _deprecated("parse_data_policy", "QueryRequest.parse_data_policy")
+    return _data_policy_arg(text)
 
 
 def parse_timing_policy(text: str) -> TimingPolicyKind:
-    """Parse a timing-policy name: periodic or refrint."""
-    label = text.strip().lower()
-    if label in ("periodic", "p"):
-        return TimingPolicyKind.PERIODIC
-    if label in ("refrint", "r"):
-        return TimingPolicyKind.REFRINT
-    raise argparse.ArgumentTypeError(
-        f"unknown timing policy {text!r}; expected periodic or refrint"
-    )
+    """Deprecated alias of :meth:`QueryRequest.parse_timing_policy`."""
+    _deprecated("parse_timing_policy", "QueryRequest.parse_timing_policy")
+    return _timing_policy_arg(text)
 
 
 def parse_applications(text: str) -> List[str]:
-    """Parse a comma-separated application list (or ``all``)."""
-    if text.strip().lower() == "all":
-        return list(APPLICATION_NAMES)
-    names = [name.strip() for name in text.split(",") if name.strip()]
-    unknown = [name for name in names if name not in APPLICATION_NAMES]
-    if unknown:
-        raise argparse.ArgumentTypeError(
-            f"unknown applications: {', '.join(unknown)}"
-        )
-    return names
+    """Deprecated alias of :meth:`QueryRequest.parse_applications`.
+
+    Like the schema parser it now rejects duplicated application names
+    (they would silently double-run and double-weight every average).
+    """
+    _deprecated("parse_applications", "QueryRequest.parse_applications")
+    return _applications_arg(text)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -135,18 +163,19 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument(
         "--application", default="fft", choices=sorted(APPLICATION_NAMES)
     )
-    simulate.add_argument("--timing", type=parse_timing_policy, default="refrint")
-    simulate.add_argument("--data", type=parse_data_policy, default="WB(32,32)")
+    simulate.add_argument("--timing", type=_timing_policy_arg, default="refrint")
+    simulate.add_argument("--data", type=_data_policy_arg, default="WB(32,32)")
     simulate.add_argument("--retention-us", type=float, default=50.0)
     simulate.add_argument("--length-scale", type=float, default=0.5)
 
     sweep = commands.add_parser("sweep", help="run the Table 5.4 sweep")
     sweep.add_argument(
-        "--applications", type=parse_applications, default=["fft", "barnes", "blackscholes"]
+        "--applications", type=_applications_arg,
+        default=["fft", "barnes", "blackscholes"],
     )
     sweep.add_argument("--length-scale", type=float, default=0.5)
     sweep.add_argument(
-        "--retentions", default="50,100,200",
+        "--retentions", type=_retentions_arg, default="50,100,200",
         help="comma-separated retention times in microseconds",
     )
     sweep.add_argument("--json", type=Path, default=None, help="write a JSON summary")
@@ -186,7 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--store-backend", choices=("auto", "json", "segment"), default="auto",
     )
     validate.add_argument(
-        "--applications", type=parse_applications,
+        "--applications", type=_applications_arg,
         default=["fft", "barnes", "blackscholes"],
         help="applications the campaign was run with (defines the grid)",
     )
@@ -195,7 +224,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload length scale the campaign was run with",
     )
     validate.add_argument(
-        "--retentions", default="50,100,200",
+        "--retentions", type=_retentions_arg, default="50,100,200",
         help="comma-separated retention times in microseconds",
     )
     validate.add_argument(
@@ -213,6 +242,35 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument(
         "--strict-missing", action="store_true",
         help="also fail when grid cells are absent from the store",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="serve sweep queries over HTTP from a result store"
+    )
+    serve.add_argument(
+        "--store", type=Path, default=None,
+        help="result store to answer from and backfill into (optional)",
+    )
+    serve.add_argument(
+        "--store-backend", choices=("auto", "json", "segment"), default="auto",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8023)
+    serve.add_argument(
+        "--jobs", type=int, default=1, help="simulator worker processes"
+    )
+    serve.add_argument(
+        "--surrogate-retentions", type=_retentions_arg, default=None,
+        help="retention grid of the surrogate lattice in microseconds "
+             "(default: 50,100,200)",
+    )
+    serve.add_argument(
+        "--no-surrogate", action="store_true",
+        help="never interpolate; every miss is simulated exactly",
+    )
+    serve.add_argument(
+        "--validate-answers", action="store_true",
+        help="run the served-answer invariant check on every response",
     )
 
     store = commands.add_parser(
@@ -278,6 +336,24 @@ def _run_simulate(args, out) -> int:
     return 0
 
 
+def _grid_request(args) -> QueryRequest:
+    """The canonical request behind ``sweep`` and ``validate`` arguments.
+
+    Same normalisation as a POSTed query: the grid spans both timing
+    policies and the paper's seven data policies at the requested
+    retentions, so CLI campaigns and served answers share job hashes (and
+    therefore stores).
+    """
+    return QueryRequest(
+        applications=args.applications,
+        retentions_us=args.retentions,
+        timing_policies=(TimingPolicyKind.PERIODIC, TimingPolicyKind.REFRINT),
+        data_policies=tuple(paper_data_policies()),
+        length_scale=args.length_scale,
+        seed=args.seed,
+    )
+
+
 def _run_sweep(args, out) -> int:
     if args.resume and args.store is None:
         print("error: --resume requires --store", file=sys.stderr)
@@ -286,14 +362,14 @@ def _run_sweep(args, out) -> int:
         print("error: --jobs must be >= 1", file=sys.stderr)
         return 2
     architecture = scaled_architecture()
-    retentions = tuple(
-        float(value) for value in str(args.retentions).split(",") if value.strip()
-    )
-    points = default_policy_points(retention_times_us=retentions)
-    requests = [
-        WorkloadRequest(name, length_scale=args.length_scale, seed=args.seed)
-        for name in args.applications
-    ]
+    try:
+        request = _grid_request(args)
+    except QueryValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    retentions = request.retentions_us
+    points = request.policy_points()
+    requests = request.workload_requests()
     sweep, stats = run_campaign(
         requests,
         points=points,
@@ -343,15 +419,13 @@ def _run_validate(args, out) -> int:
         print(f"error: {args.store} is not a directory", file=sys.stderr)
         return 2
     architecture = scaled_architecture()
-    retentions = tuple(
-        float(value) for value in str(args.retentions).split(",") if value.strip()
-    )
-    points = default_policy_points(retention_times_us=retentions)
-    requests = [
-        WorkloadRequest(name, length_scale=args.length_scale, seed=args.seed)
-        for name in args.applications
-    ]
-    jobs = enumerate_jobs(requests, points, architecture)
+    try:
+        request = _grid_request(args)
+    except QueryValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    points = request.policy_points()
+    jobs = enumerate_jobs(request.workload_requests(), points, architecture)
     store = open_store(args.store, backend=args.store_backend)
     sweep = StoreSweep(store, jobs, points)
     rtol = args.rtol if args.rtol is not None else DEFAULT_RTOL
@@ -367,6 +441,31 @@ def _run_validate(args, out) -> int:
         return 1
     if args.strict_missing and validation.anomalies.missing:
         return 1
+    return 0
+
+
+def _run_serve(args, out) -> int:
+    from repro.service import run_service
+
+    if args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.store is not None and not args.store.is_dir():
+        print(f"error: {args.store} is not a directory", file=sys.stderr)
+        return 2
+    surrogate_retentions = (
+        () if args.no_surrogate else args.surrogate_retentions
+    )
+    run_service(
+        store_root=args.store,
+        store_backend=args.store_backend,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        surrogate_retentions=surrogate_retentions,
+        validate_answers=args.validate_answers,
+        announce=lambda message: print(message, file=out),
+    )
     return 0
 
 
@@ -459,6 +558,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
         return _run_sweep(args, out)
     if args.command == "validate":
         return _run_validate(args, out)
+    if args.command == "serve":
+        return _run_serve(args, out)
     if args.command == "store":
         return _run_store(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -274,6 +274,32 @@ class ExperimentRunner:
         return [name for name in APPLICATION_CLASSES[app_class] if name in simulated]
 
 
+def point_averages(
+    sweep: SweepResult,
+    point: PolicyPoint,
+    applications: Optional[List[str]] = None,
+) -> Dict[str, float]:
+    """All-application averages of the normalised metrics at one sweep point.
+
+    The grid-cell aggregation every consumer of a sweep shares: the
+    headline summary below, the report tables, and the query service's
+    per-point ``aggregates`` (:mod:`repro.api.answer`).  Works on any
+    ``SweepResult``, including the store-backed
+    :class:`~repro.campaign.view.StoreSweep`.
+    """
+    memory = sweep.normalised_memory_energy(point, applications)
+    system = sweep.normalised_system_energy(point, applications)
+    time = sweep.normalised_execution_time(point, applications)
+    count = len(memory)
+    if count == 0:
+        raise ValueError(f"no applications to average at {point.label}")
+    return {
+        "memory": sum(memory.values()) / count,
+        "system": sum(system.values()) / count,
+        "time": sum(time.values()) / count,
+    }
+
+
 def headline_summary(
     sweep: SweepResult, retention_us: float = 50.0
 ) -> Dict[str, float]:
@@ -297,19 +323,8 @@ def headline_summary(
             f"points at {retention_us:g} us"
         )
 
-    def averages(point: PolicyPoint) -> Dict[str, float]:
-        memory = sweep.normalised_memory_energy(point)
-        system = sweep.normalised_system_energy(point)
-        time = sweep.normalised_execution_time(point)
-        count = len(memory)
-        return {
-            "memory": sum(memory.values()) / count,
-            "system": sum(system.values()) / count,
-            "time": sum(time.values()) / count,
-        }
-
-    naive = averages(periodic_all)
-    refrint = averages(refrint_wb)
+    naive = point_averages(sweep, periodic_all)
+    refrint = point_averages(sweep, refrint_wb)
     return {
         "periodic_all_memory": naive["memory"],
         "periodic_all_system": naive["system"],

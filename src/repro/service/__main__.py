@@ -1,0 +1,64 @@
+"""``python -m repro.service``: boot the sweep query service.
+
+A thin argv shim over :func:`repro.service.run_service`; the same flags
+exist on ``repro.cli serve`` -- this module only spares deployments the
+extra import of the full CLI.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+
+def main(argv=None) -> int:
+    from repro.service import run_service
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve sweep queries over HTTP from a result store.",
+    )
+    parser.add_argument("--store", default=None, help="result store directory")
+    parser.add_argument(
+        "--store-backend",
+        default="auto",
+        choices=("auto", "json", "segment"),
+        help="store layout (default: auto-detect)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8023)
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="simulator worker processes"
+    )
+    parser.add_argument(
+        "--surrogate-retentions",
+        default=None,
+        help="comma-separated lattice grid in us (empty string disables)",
+    )
+    parser.add_argument(
+        "--validate-answers",
+        action="store_true",
+        help="run the served-answer invariant check on every response",
+    )
+    args = parser.parse_args(argv)
+    retentions = None
+    if args.surrogate_retentions is not None:
+        text = args.surrogate_retentions.strip()
+        retentions = (
+            tuple(float(item) for item in text.split(",") if item.strip())
+            if text
+            else ()
+        )
+    run_service(
+        store_root=args.store,
+        store_backend=args.store_backend,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        surrogate_retentions=retentions,
+        validate_answers=args.validate_answers,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

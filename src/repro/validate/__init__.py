@@ -12,7 +12,10 @@ the WB(n, m) model says they *must* satisfy:
   points whose counter ratios break the expected monotone pattern across
   the Table 5.4 retention grid;
 * :mod:`repro.validate.report` -- orchestration plus Markdown / JSON
-  rendering for the ``validate`` CLI subcommand and the sweep report.
+  rendering for the ``validate`` CLI subcommand and the sweep report;
+* :mod:`repro.validate.service` -- served-answer checks for the query
+  service (exact/surrogate flag consistency, run invariants on exact
+  payloads, surrogate metrics inside their corner envelope).
 """
 
 from repro.validate.anomaly import Anomaly, AnomalyReport, scan_sweep
@@ -28,6 +31,7 @@ from repro.validate.report import (
     render_markdown,
     validate_sweep,
 )
+from repro.validate.service import check_response
 
 __all__ = [
     "Anomaly",
@@ -37,6 +41,7 @@ __all__ = [
     "RunValidation",
     "as_json_dict",
     "check_replay_stats",
+    "check_response",
     "check_result",
     "render_markdown",
     "scan_sweep",

@@ -102,11 +102,24 @@ class TestSegmentFormat:
             assert isinstance(header["trace_generator"], str)
 
     def test_open_store_refuses_backend_mismatch(self, campaign_stores):
+        # The refusal must name BOTH the detected and the requested backend
+        # and spell out the store-migrate escape hatch, so the error alone
+        # is enough to fix the invocation.
         json_root, seg_root, _, _ = campaign_stores
-        with pytest.raises(ValueError, match="store migrate"):
+        with pytest.raises(ValueError) as excinfo:
             open_store(seg_root, backend="json")
-        with pytest.raises(ValueError, match="store migrate"):
+        message = str(excinfo.value)
+        assert "'segment'-layout" in message
+        assert "backend='json'" in message
+        assert f"store migrate {seg_root}" in message
+        assert "--to json" in message
+        with pytest.raises(ValueError) as excinfo:
             open_store(json_root, backend="segment")
+        message = str(excinfo.value)
+        assert "'json'-layout" in message
+        assert "backend='segment'" in message
+        assert f"store migrate {json_root}" in message
+        assert "--to segment" in message
 
     def test_open_store_auto_detects(self, campaign_stores):
         json_root, seg_root, _, _ = campaign_stores

@@ -1,0 +1,355 @@
+"""Tests for sweep-as-a-service: coalescing, memoisation, surrogates, HTTP.
+
+Everything is asserted on exact counters (jobs executed, batches, coalesced
+waits, store hits), never on timing -- the repo's CI currency.  The
+simulator is only invoked where the test is *about* real results; a module
+store is seeded once and shared.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+
+import pytest
+
+from repro.api import Query, QueryValidationError, answer_query
+from repro.api.answer import default_run_jobs
+from repro.api.surrogate import SurrogateLattice
+from repro.campaign.store import open_store
+from repro.service import SweepService, make_service, serve
+from repro.validate.service import check_response
+
+LENGTH_SCALE = 0.05
+
+#: The grid the module store is seeded with (3 jobs: baseline + 2 points).
+SEED_QUERY = Query(
+    applications="fft",
+    retentions_us=(50.0, 200.0),
+    timing_policies=("refrint",),
+    data_policies=("WB(32,32)",),
+    length_scale=LENGTH_SCALE,
+)
+
+
+class CountingRunner:
+    """An execution seam that counts exactly what the service runs."""
+
+    def __init__(self):
+        self.jobs = 0
+        self.batches = 0
+
+    def __call__(self, batch):
+        self.batches += 1
+        self.jobs += len(batch)
+        return default_run_jobs(batch)
+
+
+@pytest.fixture(scope="module")
+def seeded_store(tmp_path_factory):
+    store = open_store(tmp_path_factory.mktemp("service") / "store", backend="segment")
+    response = answer_query(SEED_QUERY, store=store)
+    assert response.exact
+    return store
+
+
+def make_seeded_service(seeded_store, **kwargs):
+    runner = CountingRunner()
+    service = make_service(
+        store=seeded_store,
+        run_jobs=runner,
+        surrogate_retentions=(50.0, 200.0),
+        **kwargs,
+    )
+    return service, runner
+
+
+class TestMemoisationAndCoalescing:
+    def test_repeat_query_runs_zero_jobs(self, seeded_store):
+        service, runner = make_seeded_service(seeded_store)
+
+        async def scenario():
+            first = await service.answer(SEED_QUERY)
+            second = await service.answer(SEED_QUERY)
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first.exact and second.exact
+        # Zero simulator invocations: everything was already in the store.
+        assert runner.jobs == 0 and runner.batches == 0
+        assert service.stats.store_hits == 6
+        assert all(a.provenance.source == "store" for a in second.answers)
+        assert second.aggregates is not None
+        assert set(second.aggregates) == {"50us/R.WB(32,32)", "200us/R.WB(32,32)"}
+
+    def test_concurrent_identical_cold_queries_run_one_job(self, seeded_store):
+        service, runner = make_seeded_service(seeded_store)
+        # 75us is cold (not stored, surrogates off): the only eDRAM point
+        # of this query must be simulated exactly once across N queries.
+        cold = SEED_QUERY.with_options(
+            retentions_us=(75.0,), allow_surrogate=False
+        )
+
+        async def scenario():
+            return await asyncio.gather(*[service.answer(cold) for _ in range(5)])
+
+        responses = asyncio.run(scenario())
+        assert all(response.exact for response in responses)
+        assert runner.jobs == 1 and runner.batches == 1
+        assert service.stats.jobs_executed == 1
+        # The 4 queries that arrived while the first was simulating waited
+        # on its future instead of running their own job.
+        assert service.stats.coalesced == 4
+        # All five answers carry the same job hash and exact values.
+        answers = [response.answers[-1] for response in responses]
+        assert len({a.provenance.job_key for a in answers}) == 1
+        assert len({a.metrics["execution_cycles"] for a in answers}) == 1
+
+    def test_fresh_results_are_committed_to_the_store(self, seeded_store):
+        service, runner = make_seeded_service(seeded_store)
+        cold = SEED_QUERY.with_options(
+            retentions_us=(80.0,), allow_surrogate=False
+        )
+
+        async def scenario():
+            await service.answer(cold)
+            return await service.answer(cold)
+
+        second = asyncio.run(scenario())
+        assert runner.jobs == 1  # the repeat was a pure store hit
+        assert all(a.provenance.source == "store" for a in second.answers)
+
+
+class TestSurrogates:
+    def test_off_grid_is_surrogate_with_bounds_then_backfilled(self, seeded_store):
+        service, runner = make_seeded_service(seeded_store)
+        off_grid = SEED_QUERY.with_options(retentions_us=(125.0,))
+
+        async def scenario():
+            first = await service.answer(off_grid)
+            await service.drain_backfills()
+            second = await service.answer(off_grid)
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert not first.exact
+        surrogate = first.answers[-1]
+        assert surrogate.exact is False
+        assert surrogate.bounds == {"retention_us": [50.0, 200.0]}
+        assert len(surrogate.provenance.corner_keys) == 2
+        assert surrogate.provenance.source == "surrogate"
+        assert surrogate.result is None
+        # Mixed responses never serve grid aggregates.
+        assert first.aggregates is None
+        # The interpolated metrics lie inside the exact corner envelope.
+        corners = [
+            seeded_store.get(key) for key in surrogate.provenance.corner_keys
+        ]
+        lo, hi = sorted(c.memory_energy() for c in corners)
+        assert lo <= surrogate.metrics["memory_energy_j"] <= hi
+        # The exact job ran exactly once, asynchronously, and the re-query
+        # is now an exact store hit with provenance naming the store.
+        assert service.stats.backfills_scheduled == 1
+        assert service.stats.backfills_completed == 1
+        assert runner.jobs == 1
+        assert second.exact
+        exact = second.answers[-1]
+        assert exact.provenance.source == "store"
+        assert exact.provenance.job_key == surrogate.provenance.job_key
+        assert exact.provenance.store_backend == "segment"
+
+    def test_coalescing_onto_a_backfill(self, seeded_store):
+        service, runner = make_seeded_service(seeded_store)
+        off_grid = SEED_QUERY.with_options(retentions_us=(150.0,))
+        exact_only = off_grid.with_options(allow_surrogate=False)
+
+        async def scenario():
+            # The surrogate query schedules a backfill; the exact query for
+            # the same grid arrives while it is in flight and must coalesce
+            # onto it rather than run a second simulation.
+            first = await service.answer(off_grid)
+            second_task = asyncio.create_task(service.answer(exact_only))
+            second = await second_task
+            await service.drain_backfills()
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert not first.exact and second.exact
+        assert runner.jobs == 1
+        assert service.stats.coalesced == 1
+
+    def test_outside_hull_simulates_exactly(self, seeded_store):
+        service, runner = make_seeded_service(seeded_store)
+        outside = SEED_QUERY.with_options(retentions_us=(20.0,))
+
+        async def scenario():
+            return await service.answer(outside)
+
+        response = asyncio.run(scenario())
+        assert response.exact
+        assert runner.jobs == 1
+        assert service.stats.surrogate_answers == 0
+
+
+class TestServedAnswerValidation:
+    def test_clean_response_has_no_violations(self, seeded_store):
+        service, _ = make_seeded_service(seeded_store, validate_answers=True)
+
+        async def scenario():
+            return await service.answer(SEED_QUERY)
+
+        response = asyncio.run(scenario())
+        assert service.stats.validation_failures == 0
+        assert check_response(response, store=seeded_store) == []
+
+    def test_mislabelled_exactness_is_flagged(self, seeded_store):
+        response = answer_query(SEED_QUERY, store=seeded_store)
+        response.answers[1].exact = False  # an exact answer lying about itself
+        violations = check_response(response, store=seeded_store)
+        assert any("source" in v for v in violations)
+
+    def test_tampered_metric_is_flagged(self, seeded_store):
+        response = answer_query(SEED_QUERY, store=seeded_store)
+        response.answers[1].metrics["memory_energy_j"] *= 2
+        violations = check_response(response, store=seeded_store)
+        assert any("disagrees with the result payload" in v for v in violations)
+
+    def test_surrogate_outside_envelope_is_flagged(self, seeded_store):
+        lattice = SurrogateLattice(seeded_store, retentions_us=(50.0, 200.0))
+        # 90us is off-grid and never backfilled by the other tests, so this
+        # query is answered by interpolation even on the shared store.
+        response = answer_query(
+            SEED_QUERY.with_options(retentions_us=(90.0,)),
+            store=seeded_store,
+            lattice=lattice,
+        )
+        surrogate = response.answers[-1]
+        assert not surrogate.exact
+        surrogate.metrics["memory_energy_j"] *= 10
+        violations = check_response(response, store=seeded_store)
+        assert any("outside its corner envelope" in v for v in violations)
+
+
+async def http_request(port, method, path, body=None, raw_body=None):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = raw_body if raw_body is not None else (
+        b"" if body is None else json.dumps(body).encode("utf-8")
+    )
+    head = f"{method} {path} HTTP/1.1\r\nHost: test\r\n"
+    if body is not None or raw_body is not None:
+        head += f"Content-Length: {len(payload)}\r\n"
+    writer.write(head.encode("ascii") + b"\r\n" + payload)
+    await writer.drain()
+    data = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    status = int(data.split(b" ", 2)[1])
+    return status, json.loads(data.split(b"\r\n\r\n", 1)[1])
+
+
+class TestHttpFrontEnd:
+    def run_http(self, scenario, service=None):
+        service = service if service is not None else SweepService()
+
+        async def main():
+            server = await serve(service, port=0)
+            port = server.sockets[0].getsockname()[1]
+            try:
+                return await scenario(service, port)
+            finally:
+                server.close()
+                await server.wait_closed()
+
+        return asyncio.run(main())
+
+    def test_malformed_requests_get_4xx(self):
+        async def scenario(service, port):
+            results = {}
+            results["bad_json"] = await http_request(
+                port, "POST", "/v1/query", raw_body=b"{nope"
+            )
+            results["unknown_field"] = await http_request(
+                port, "POST", "/v1/query", body={"applications": ["fft"], "x": 1}
+            )
+            results["bad_policy"] = await http_request(
+                port, "POST", "/v1/query",
+                body={"applications": ["fft"], "data_policies": ["smart"]},
+            )
+            results["duplicates"] = await http_request(
+                port, "POST", "/v1/query", body={"applications": ["fft", "fft"]}
+            )
+            results["no_body"] = await http_request(port, "POST", "/v1/query")
+            results["not_found"] = await http_request(port, "GET", "/v2/query")
+            results["bad_method"] = await http_request(port, "GET", "/v1/query")
+            return results
+
+        results = self.run_http(scenario)
+        assert results["bad_json"][0] == 400
+        assert "not valid JSON" in results["bad_json"][1]["error"]
+        assert results["unknown_field"][0] == 400
+        assert "unknown query fields" in results["unknown_field"][1]["error"]
+        assert results["bad_policy"][0] == 400
+        assert "unknown data policy" in results["bad_policy"][1]["error"]
+        assert results["duplicates"][0] == 400
+        assert "duplicate applications" in results["duplicates"][1]["error"]
+        assert results["no_body"][0] == 400
+        assert results["not_found"][0] == 404
+        assert results["bad_method"][0] == 405
+
+    def test_health_schema_stats(self, seeded_store):
+        service, _ = make_seeded_service(seeded_store)
+
+        async def scenario(service, port):
+            health = await http_request(port, "GET", "/v1/health")
+            schema = await http_request(port, "GET", "/v1/schema")
+            stats = await http_request(port, "GET", "/v1/stats")
+            return health, schema, stats
+
+        health, schema, stats = self.run_http(scenario, service)
+        assert health[0] == 200 and health[1]["status"] == "ok"
+        assert health[1]["store_backend"] == "segment"
+        assert health[1]["surrogate"] is True
+        assert schema[0] == 200 and schema[1]["title"] == "QueryRequest"
+        assert stats[0] == 200 and stats[1]["queries"] == 0
+
+    def test_query_over_http_is_memoised(self, seeded_store):
+        service, runner = make_seeded_service(seeded_store)
+
+        async def scenario(service, port):
+            return await http_request(
+                port, "POST", "/v1/query", body=SEED_QUERY.to_dict()
+            )
+
+        status, body = self.run_http(scenario, service)
+        assert status == 200
+        assert body["exact"] is True
+        assert runner.jobs == 0  # served entirely from the store
+        assert len(body["answers"]) == 3
+        assert all(a["provenance"]["source"] == "store" for a in body["answers"])
+        assert body["aggregates"]
+
+
+class TestCliServe:
+    def test_rejects_bad_arguments(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["serve", "--store", str(tmp_path / "missing")]) == 2
+        assert main(["serve", "--jobs", "0"]) == 2
+
+    def test_duplicate_applications_rejected_at_the_parser(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--applications", "fft,fft"])
+
+    def test_answer_query_facade_matches_service(self, seeded_store):
+        # The sync facade and the async service answer from the same store
+        # with the same provenance stamps.
+        response = answer_query(SEED_QUERY, store=seeded_store)
+        assert response.exact
+        assert all(a.provenance.source == "store" for a in response.answers)
+        normalised = [
+            a.normalised for a in response.answers if a.label != "SRAM baseline"
+        ]
+        assert all(n is not None and 0 < n["memory"] < 1 for n in normalised)
